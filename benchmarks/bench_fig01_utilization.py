@@ -1,0 +1,21 @@
+"""Fig. 1 — DCTCP's link utilisation fluctuates well below the offered
+load (the under-utilisation that motivates PPT).
+
+Paper: at 0.5 load the bottleneck's utilisation oscillates between ~25%
+and ~50%.  Shape asserted: the average stays below the ideal, with deep
+dips and near-line-rate peaks.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig01_link_utilization
+
+
+def test_fig01_dctcp_underutilisation(benchmark):
+    result = run_figure(benchmark, "Fig 1: DCTCP link utilisation",
+                        fig01_link_utilization)
+    row = result["rows"][0]
+    ideal = result["ideal"]
+    assert row["avg_utilization"] < ideal + 0.02   # cannot beat the load
+    assert row["avg_utilization"] > 0.2            # but the link is used
+    assert row["min_utilization"] < 0.3 * ideal    # deep dips exist
+    assert row["max_utilization"] > 0.9            # transient line-rate peaks

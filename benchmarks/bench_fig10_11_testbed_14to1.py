@@ -1,0 +1,27 @@
+"""Figs. 10/11 — testbed 14-to-1 incast FCT statistics.
+
+Paper shape: PPT delivers the lowest overall average FCT; RC3's
+low-priority flood collapses under incast (its small-flow tail is even
+worse than DCTCP's in some cases); PPT's small flows stay protected.
+"""
+
+import pytest
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig10_11_testbed_14to1
+
+
+@pytest.mark.parametrize("workload", ["web-search", "data-mining"])
+def test_fig10_11_testbed_14to1(benchmark, workload):
+    result = run_figure(benchmark, f"Figs 10/11: 14-to-1 incast ({workload})",
+                        fig10_11_testbed_14to1, workload=workload)
+    rows = by_scheme(result["rows"])
+    ppt = rows["ppt"]
+    assert ppt["overall_avg_ms"] < rows["dctcp"]["overall_avg_ms"]
+    assert ppt["overall_avg_ms"] < rows["homa"]["overall_avg_ms"]
+    assert ppt["small_avg_ms"] < rows["dctcp"]["small_avg_ms"]
+    assert ppt["small_avg_ms"] < rows["rc3"]["small_avg_ms"]
+    assert ppt["small_p99_ms"] < rows["dctcp"]["small_p99_ms"]
+    # large flows are not starved: within 15% of the best large-flow avg
+    best_large = min(r["large_avg_ms"] for r in rows.values())
+    assert ppt["large_avg_ms"] <= best_large * 1.15

@@ -1,0 +1,42 @@
+"""Figs. 12/13 — the large-scale six-scheme comparison on the
+oversubscribed 40/100G fabric (web search & data mining).
+
+Paper shape: PPT achieves the lowest overall average FCT of all tested
+schemes (reductions of 38.5-87.5% on web search); its small-flow tail is
+far below RC3's and DCTCP's; its large flows are never starved.
+
+Known deviation (EXPERIMENTS.md): our NDP — ideal control path, perfect
+per-packet spraying — is stronger than the paper's, so PPT-vs-NDP is
+reported but only PPT-vs-{Homa, RC3, DCTCP, Aeolus} is asserted.
+"""
+
+import pytest
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig12_13_largescale
+
+
+@pytest.mark.parametrize("workload", ["web-search", "data-mining"])
+def test_fig12_13_largescale(benchmark, workload):
+    result = run_figure(benchmark, f"Figs 12/13: large-scale ({workload})",
+                        fig12_13_largescale, workload=workload)
+    rows = by_scheme(result["rows"])
+    ppt = rows["ppt"]
+
+    # overall: PPT beats the reactive baselines outright and stays at or
+    # below Homa/Aeolus (paper: strictly below; our Homa's ideal grant
+    # path makes it a tougher target on data mining — EXPERIMENTS.md)
+    assert ppt["overall_avg_ms"] < rows["rc3"]["overall_avg_ms"]
+    assert ppt["overall_avg_ms"] < rows["dctcp"]["overall_avg_ms"]
+    assert ppt["overall_avg_ms"] <= rows["homa"]["overall_avg_ms"] * 1.10
+    assert ppt["overall_avg_ms"] <= rows["aeolus"]["overall_avg_ms"] * 1.10
+
+    # small flows: tail far below RC3/DCTCP (paper: 75-77% lower)
+    assert ppt["small_p99_ms"] < rows["rc3"]["small_p99_ms"] / 3
+    assert ppt["small_p99_ms"] < rows["dctcp"]["small_p99_ms"] / 3
+    assert ppt["small_avg_ms"] < rows["rc3"]["small_avg_ms"]
+    assert ppt["small_avg_ms"] < rows["dctcp"]["small_avg_ms"]
+
+    # large flows: no starvation
+    assert ppt["large_avg_ms"] < rows["dctcp"]["large_avg_ms"] * 1.02
+    assert ppt["large_avg_ms"] < rows["homa"]["large_avg_ms"] * 1.10

@@ -1,0 +1,21 @@
+"""Fig. 14 — PPT's design grafted onto a delay-based (Swift-like)
+transport.
+
+Paper: the variant reduces the overall average FCT by 16.7%, the small
+avg/tail by 56.5%/72.1% and the large average by 11% vs the original
+delay-based transport.  Shape asserted: improvement on all four metrics.
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig14_delay_based
+
+
+def test_fig14_ppt_over_swift(benchmark):
+    result = run_figure(benchmark, "Fig 14: PPT over delay-based transport",
+                        fig14_delay_based)
+    rows = by_scheme(result["rows"])
+    swift, variant = rows["swift"], rows["ppt-swift"]
+    assert variant["overall_avg_ms"] < swift["overall_avg_ms"]
+    assert variant["small_avg_ms"] < swift["small_avg_ms"]
+    assert variant["small_p99_ms"] < swift["small_p99_ms"]
+    assert variant["large_avg_ms"] < swift["large_avg_ms"] * 1.02

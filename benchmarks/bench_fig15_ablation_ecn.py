@@ -1,0 +1,24 @@
+"""Fig. 15 — PPT without ECN for the LCP loop.
+
+Paper: disabling LCP ECN slows the overall average by 18.9% and the
+small avg/tail by 59.6%/78.4% — the loop only senses congestion after
+loss and keeps injecting.
+
+Known deviation: under our commodity dynamic-threshold buffers the
+fabric itself already stops a blind LCP (DT drops opportunistic excess
+before it can harm normal traffic), so the no-ECN penalty is muted; the
+shape asserted is therefore only "no better than the full design" with
+the rows reported for comparison (see EXPERIMENTS.md).
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig15_ablation_lcp_ecn
+
+
+def test_fig15_no_lcp_ecn(benchmark):
+    result = run_figure(benchmark, "Fig 15: ablation - LCP ECN off",
+                        fig15_ablation_lcp_ecn)
+    rows = by_scheme(result["rows"])
+    full, ablated = rows["ppt"], rows["ppt-noecn"]
+    assert ablated["overall_avg_ms"] >= full["overall_avg_ms"] * 0.97
+    assert ablated["small_p99_ms"] >= full["small_p99_ms"] * 0.95

@@ -1,0 +1,21 @@
+"""Fig. 16 — PPT without EWD: the LCP loop blasts its window at line
+rate every RTT instead of the paced, exponentially-decreasing schedule.
+
+Paper: the overall average is prolonged by 26% and the small avg/tail by
+63.5%/85.8% without EWD.  Shape asserted: the ablated variant is worse
+overall and on large flows (the blast wastes the LP budget and churns
+the shared buffer).
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig16_ablation_ewd
+
+
+def test_fig16_no_ewd(benchmark):
+    result = run_figure(benchmark, "Fig 16: ablation - EWD off",
+                        fig16_ablation_ewd)
+    rows = by_scheme(result["rows"])
+    full, ablated = rows["ppt"], rows["ppt-noewd"]
+    assert ablated["overall_avg_ms"] > full["overall_avg_ms"] * 1.02
+    assert ablated["large_avg_ms"] > full["large_avg_ms"] * 1.02
+    assert ablated["small_avg_ms"] >= full["small_avg_ms"] * 0.95

@@ -1,0 +1,21 @@
+"""Fig. 17 — PPT without flow scheduling (every flow shares one
+priority per loop).
+
+Paper: scheduling is worth 26% on the overall average and 66%/51.2% on
+the small avg/tail.  Shape asserted: without it, small flows collapse
+back to DCTCP-like latencies (multiples worse) and the overall average
+degrades.
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig17_ablation_scheduling
+
+
+def test_fig17_no_scheduling(benchmark):
+    result = run_figure(benchmark, "Fig 17: ablation - scheduling off",
+                        fig17_ablation_scheduling)
+    rows = by_scheme(result["rows"])
+    full, ablated = rows["ppt"], rows["ppt-nosched"]
+    assert ablated["overall_avg_ms"] > full["overall_avg_ms"] * 1.05
+    assert ablated["small_avg_ms"] > full["small_avg_ms"] * 2.0
+    assert ablated["small_p99_ms"] > full["small_p99_ms"] * 2.0

@@ -1,0 +1,24 @@
+"""Fig. 18 — PPT without buffer-aware identification (all flows start
+unidentified at the top priority and age down).
+
+Paper: the variant can have a *slightly lower* overall average (large
+flows enjoy high priorities early) but loses 4.3%/31.9% on the small
+avg/tail because large flows initially share the top queue with small
+ones.  Shape asserted: the small-flow tail degrades without
+identification; the overall average stays in the same ballpark.
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig18_ablation_identification
+
+
+def test_fig18_no_identification(benchmark):
+    result = run_figure(benchmark, "Fig 18: ablation - identification off",
+                        fig18_ablation_identification)
+    rows = by_scheme(result["rows"])
+    full, ablated = rows["ppt"], rows["ppt-noident"]
+    assert ablated["small_p99_ms"] > full["small_p99_ms"] * 1.1
+    assert ablated["small_avg_ms"] >= full["small_avg_ms"]
+    # overall within a modest band either way
+    assert abs(ablated["overall_avg_ms"] - full["overall_avg_ms"]) \
+        <= full["overall_avg_ms"] * 0.25

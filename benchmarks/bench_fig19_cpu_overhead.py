@@ -1,0 +1,26 @@
+"""Fig. 19 — kernel datapath (CPU) overhead of PPT vs DCTCP.
+
+Paper: PPT's CPU usage exceeds DCTCP's by less than 1 percentage point,
+and the *relative* gap shrinks as the load grows (more load = less spare
+bandwidth = fewer opportunistic packets per unit of useful work).
+
+Our proxy counts datapath operations per host per second (DESIGN.md §2).
+Shape asserted: small absolute gap at every load; relative gap
+non-increasing from the lightest to the heaviest load.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig19_cpu_overhead
+
+
+def test_fig19_cpu_overhead(benchmark):
+    result = run_figure(benchmark, "Fig 19: datapath overhead proxy",
+                        fig19_cpu_overhead)
+    rows = result["rows"]
+    relative = []
+    for row in rows:
+        assert row["gap_pct"] < 2.5, f"load={row['load']}: gap too large"
+        assert row["ppt_cpu_pct"] >= row["dctcp_cpu_pct"] * 0.95
+        relative.append(row["gap_pct"] / row["dctcp_cpu_pct"])
+    # the share of extra work shrinks with load (paper's key observation)
+    assert relative[-1] < relative[0]

@@ -1,0 +1,23 @@
+"""Fig. 20 — PPT's link utilisation tracks the hypothetical DCTCP.
+
+Paper: PPT and the hypothetical DCTCP both hold utilisation near the
+ideal 50% while plain DCTCP dips to 25% (PPT's steady-state average is
+15% higher than DCTCP's).  Shape asserted: avg(PPT) > avg(DCTCP) and
+avg(hypothetical) > avg(DCTCP), with PPT close to the hypothetical.
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig20_link_utilization
+
+
+def test_fig20_ppt_fills_the_gap(benchmark):
+    result = run_figure(benchmark, "Fig 20: utilisation PPT vs DCTCP",
+                        fig20_link_utilization)
+    rows = by_scheme(result["rows"])
+    dctcp = rows["dctcp"]["avg_utilization"]
+    hypo = rows["hypothetical"]["avg_utilization"]
+    ppt = rows["ppt"]["avg_utilization"]
+    assert ppt > dctcp
+    assert hypo > dctcp
+    # PPT approximates the oracle: within 15% of its average utilisation
+    assert ppt >= hypo * 0.85

@@ -1,0 +1,30 @@
+"""Fig. 21 — the Facebook Memcached W1 workload (all flows <= 100KB,
+>70% under 1000 bytes).
+
+Paper: PPT achieves the best average FCT, at least 25% below every other
+scheme, and a far better tail than the schemes whose first-RTT behaviour
+backfires on all-small workloads (Homa/Aeolus line-rate blasting, RC3's
+LP flood).
+
+Shape asserted: PPT has the lowest average; its tail beats Homa, Aeolus,
+RC3 and NDP.  (Our DCTCP's tail is competitive with PPT's here — see
+EXPERIMENTS.md — so the DCTCP tail is asserted only loosely.)
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig21_memcached
+
+
+def test_fig21_memcached(benchmark):
+    result = run_figure(benchmark, "Fig 21: Memcached W1",
+                        fig21_memcached)
+    rows = by_scheme(result["rows"])
+    ppt = rows["ppt"]
+    others = {name: r for name, r in rows.items() if name != "ppt"}
+    # lowest average of all schemes
+    assert ppt["small_avg_ms"] <= min(r["small_avg_ms"]
+                                      for r in others.values())
+    # tail: far below the schemes the paper calls out
+    for name in ("homa", "aeolus", "rc3", "ndp"):
+        assert ppt["small_p99_ms"] < others[name]["small_p99_ms"], name
+    assert ppt["small_p99_ms"] <= others["dctcp"]["small_p99_ms"] * 1.3

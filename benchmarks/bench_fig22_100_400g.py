@@ -1,0 +1,24 @@
+"""Fig. 22 — the 100G/400G line-rate variant of the large-scale fabric.
+
+Paper shape: PPT keeps the lowest overall average FCT (42.8-84.2%
+reductions) and the best large-flow average; at these BDPs small-flow
+tails of the proactive schemes get competitive with PPT's (the paper
+even reports PPT's tail slightly worse than Homa's/Aeolus's here).
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig22_100_400g
+
+
+def test_fig22_100_400g(benchmark):
+    result = run_figure(benchmark, "Fig 22: 100/400G fabric",
+                        fig22_100_400g)
+    rows = by_scheme(result["rows"])
+    ppt = rows["ppt"]
+    others = [r for name, r in rows.items() if name != "ppt"]
+    # PPT: lowest overall average of all six schemes
+    assert ppt["overall_avg_ms"] <= min(r["overall_avg_ms"] for r in others)
+    # and the best large-flow average
+    assert ppt["large_avg_ms"] <= min(r["large_avg_ms"] for r in others) * 1.02
+    # small-flow tail: within the proactive schemes' ballpark
+    assert ppt["small_p99_ms"] <= rows["homa"]["small_p99_ms"] * 1.5

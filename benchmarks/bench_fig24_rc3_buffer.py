@@ -1,0 +1,23 @@
+"""Fig. 24 — RC3 still loses to PPT when its low-priority queues get
+only a capped share of the switch buffer.
+
+Paper: across 20-80% LP-buffer caps, PPT reduces the overall average FCT
+by up to 71% and the small avg/tail by 73%/75% vs RC3 — capping the
+buffer does not fix RC3 because its LP loop never protects the HP loop.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig24_rc3_lp_buffer
+
+
+def test_fig24_rc3_lp_buffer_cap(benchmark):
+    result = run_figure(benchmark, "Fig 24: RC3 with capped LP buffer",
+                        fig24_rc3_lp_buffer)
+    ppt = next(r for r in result["rows"] if r["scheme"] == "ppt")
+    rc3_rows = [r for r in result["rows"] if r["scheme"] == "rc3"]
+    assert len(rc3_rows) == 3
+    for row in rc3_rows:
+        frac = row["lp_buffer_fraction"]
+        assert ppt["overall_avg_ms"] < row["overall_avg_ms"], frac
+        assert ppt["small_avg_ms"] < row["small_avg_ms"], frac
+        assert ppt["small_p99_ms"] < row["small_p99_ms"], frac

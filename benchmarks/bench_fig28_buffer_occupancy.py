@@ -1,0 +1,29 @@
+"""Appendix F / Fig. 28 — buffer occupancy under different ECN marking
+thresholds: PPT's low-priority queue stays small and stable; RC3's is a
+hog.
+
+Paper: PPT needs ~20% less buffer than RC3; PPT's LP queue holds
+2.6-3.1% of the total buffer vs RC3's 17.4-30.2%; PPT uses 10.8-17.4%
+more buffer than DCTCP while delivering lower FCTs.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig28_buffer_occupancy
+
+
+def test_fig28_buffer_occupancy(benchmark):
+    result = run_figure(benchmark, "Fig 28: buffer occupancy",
+                        fig28_buffer_occupancy)
+    data = {(r["scheme"], r["ecn_fraction"]): r for r in result["rows"]}
+    fractions = sorted({r["ecn_fraction"] for r in result["rows"]})
+    for fraction in fractions:
+        dctcp = data[("dctcp", fraction)]
+        rc3 = data[("rc3", fraction)]
+        ppt = data[("ppt", fraction)]
+        # PPT occupies less buffer than RC3 ...
+        assert ppt["avg_total_bytes"] < rc3["avg_total_bytes"]
+        # ... its LP queue is smaller than RC3's ...
+        assert ppt["avg_low_bytes"] < rc3["avg_low_bytes"]
+        # ... and it sits above DCTCP (which has no LP traffic at all)
+        assert ppt["avg_total_bytes"] > dctcp["avg_total_bytes"]
+        assert dctcp["avg_low_bytes"] == 0.0

@@ -1,0 +1,29 @@
+"""Appendix F / Fig. 29 — transfer efficiency (received / sent bytes)
+under different ECN marking thresholds.
+
+Paper: PPT's efficiency is comparable to DCTCP's and 14.6-18.4% higher
+than RC3's; RC3's *low-priority* efficiency is ~50% below PPT's — its LP
+flood is mostly dropped and the primary loop refills the holes.
+
+Shape asserted: efficiency(DCTCP) >= efficiency(PPT) > efficiency(RC3),
+and at the higher threshold PPT's LP efficiency beats RC3's.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig29_transfer_efficiency
+
+
+def test_fig29_transfer_efficiency(benchmark):
+    result = run_figure(benchmark, "Fig 29: transfer efficiency",
+                        fig29_transfer_efficiency)
+    data = {(r["scheme"], r["ecn_fraction"]): r for r in result["rows"]}
+    fractions = sorted({r["ecn_fraction"] for r in result["rows"]})
+    for fraction in fractions:
+        dctcp = data[("dctcp", fraction)]["overall_efficiency"]
+        rc3 = data[("rc3", fraction)]["overall_efficiency"]
+        ppt = data[("ppt", fraction)]["overall_efficiency"]
+        assert dctcp >= ppt * 0.98
+        assert ppt > rc3
+    high = max(fractions)
+    assert (data[("ppt", high)]["lp_efficiency"]
+            > data[("rc3", high)]["lp_efficiency"])

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs its figure's experiment exactly once
+(``benchmark.pedantic(rounds=1, iterations=1)``) — the interesting output
+is the regenerated table, not the wall time — then prints the same rows
+the paper's figure reports and asserts the reproduced *shape*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.experiments.runner import format_table
+
+
+def run_figure(benchmark, title: str, fn: Callable, **kwargs) -> dict:
+    """Execute a figure driver under pytest-benchmark and print its rows."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print(f"\n=== {title} ===")
+    print(format_table(result["rows"]))
+    return result
+
+
+def by_scheme(rows: List[dict], key: str = "scheme") -> dict:
+    """Index rows by scheme name (last row wins for duplicates)."""
+    return {row[key]: row for row in rows}

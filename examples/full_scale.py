@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's full-size §6.2 fabric: 144 hosts, 9 leaves, 4 spines.
+
+Everything else in this repository runs on scaled-down replicas so the
+test and benchmark suites finish in minutes; this example shows how to
+ask for the real thing.  A pure-Python packet-level simulation of 144
+hosts at 40/100G is *slow* — budget minutes per scheme, more with many
+flows — so the default keeps the flow count modest.
+
+Run:
+    python examples/full_scale.py --flows 100 --schemes ppt dctcp
+"""
+
+import argparse
+import time
+
+from repro import Dctcp, Ppt, Rc3, format_table, run
+from repro.experiments.scenarios import (
+    all_to_all_scenario,
+    sim_fabric,
+    sim_qcfg,
+)
+from repro.transport import Aeolus, Homa, Ndp
+from repro.workloads import WEB_SEARCH
+
+SCHEMES = {
+    "ppt": lambda: Ppt(),
+    "dctcp": lambda: Dctcp(),
+    "rc3": lambda: Rc3(),
+    "homa": lambda: Homa(rtt_bytes=45_000),
+    "aeolus": lambda: Aeolus(rtt_bytes=45_000),
+    "ndp": lambda: Ndp(rtt_bytes=45_000),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flows", type=int, default=100)
+    parser.add_argument("--load", type=float, default=0.5)
+    parser.add_argument("--size-cap", type=int, default=2_000_000)
+    parser.add_argument("--schemes", nargs="+", default=["ppt", "dctcp"],
+                        choices=sorted(SCHEMES))
+    args = parser.parse_args()
+
+    fabric = sim_fabric(n_leaf=9, n_spine=4, hosts_per_leaf=16,
+                        qcfg=sim_qcfg())
+    scenario = all_to_all_scenario(
+        "full-scale", WEB_SEARCH, load=args.load, n_flows=args.flows,
+        fabric=fabric, size_cap=args.size_cap)
+
+    rows = []
+    for name in args.schemes:
+        scheme = SCHEMES[name]()
+        t0 = time.time()
+        print(f"running {name} on 144 hosts ...", flush=True)
+        result = run(scheme, scenario)
+        stats = result.stats
+        rows.append({
+            "scheme": name,
+            "flows": f"{result.completed}/{len(result.flows)}",
+            "overall_avg_ms": stats.overall_avg * 1e3,
+            "small_avg_ms": stats.small_avg * 1e3,
+            "small_p99_ms": stats.small_p99 * 1e3,
+            "large_avg_ms": stats.large_avg * 1e3,
+            "wall_s": time.time() - t0,
+        })
+    print()
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Incast behaviour under increasing fan-in (Fig. 23).
+
+N senders fire web-search responses at one receiver.  The paper's
+finding: PPT gracefully degrades to DCTCP (the LCP loop finds no spare
+bandwidth under heavy incast and stays quiet), while Homa's and Aeolus's
+line-rate pre-credit blasts hurt; NDP's trimming keeps it healthy.
+
+Run:
+    python examples/incast_sweep.py
+    python examples/incast_sweep.py --ratios 8 16 31 --load 0.6
+"""
+
+import argparse
+
+from repro import format_table
+from repro.experiments.figures import fig23_incast_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ratios", type=int, nargs="+", default=[8, 16, 31],
+                        help="incast fan-in degrees to sweep")
+    parser.add_argument("--load", type=float, default=0.6)
+    parser.add_argument("--flows", type=int, default=100)
+    args = parser.parse_args()
+
+    result = fig23_incast_sweep(ratios=tuple(args.ratios), load=args.load,
+                                n_flows=args.flows)
+    print(format_table(result["rows"]))
+
+    # summarise PPT-vs-DCTCP per ratio (the paper's "falls back" claim)
+    by_key = {(r["scheme"], r["incast_ratio"]): r["overall_avg_ms"]
+              for r in result["rows"]}
+    print()
+    for n in args.ratios:
+        ppt, dctcp = by_key[("ppt", n)], by_key[("dctcp", n)]
+        print(f"N={n:4d}: PPT/DCTCP overall-avg ratio = {ppt / dctcp:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Link-utilisation traces (Figs. 1 and 20) rendered as text sparklines.
+
+Two senders share one receiver's 40G downlink at 0.5 load.  DCTCP's
+utilisation collapses after synchronized window cuts; PPT's LCP loop
+backfills the dips, tracking the hypothetical (oracle) DCTCP.
+
+Run:
+    python examples/link_utilization.py
+"""
+
+from repro import format_table
+from repro.experiments.figures import fig20_link_utilization
+
+BARS = " _.-=≡#"
+
+
+def sparkline(series, lo=0.0, hi=1.0):
+    chars = []
+    for value in series:
+        idx = int((value - lo) / (hi - lo) * (len(BARS) - 1) + 0.5)
+        chars.append(BARS[max(0, min(idx, len(BARS) - 1))])
+    return "".join(chars)
+
+
+def main() -> None:
+    result = fig20_link_utilization()
+    print(format_table(result["rows"]))
+    print(f"\nutilisation over time (ideal = {result['ideal']:.0%}):")
+    for name in ("dctcp", "hypothetical", "ppt"):
+        series = result["series"][name]
+        avg = sum(series) / len(series)
+        print(f"{name:>13s} |{sparkline(series)}| avg={avg:.2f}")
+
+
+if __name__ == "__main__":
+    main()

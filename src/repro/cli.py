@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list-schemes``
+    Show every available transport scheme.
+``list-workloads``
+    Show the flow-size distributions and their summary statistics.
+``run``
+    Run one or more schemes on a configurable scenario and print the
+    FCT statistics table.
+``figure``
+    Regenerate one of the paper's figures by name (fig01 .. fig29,
+    sec41) and print its rows.
+``tables``
+    Print Tables 1-3.
+
+Examples
+--------
+
+    python -m repro run --schemes ppt dctcp --workload web-search --load 0.5
+    python -m repro figure fig12 --workload data-mining
+    python -m repro list-schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .core.ppt import Ppt
+from .core.ppt_hpcc import PptHpcc
+from .core.ppt_swift import PptSwift
+from .experiments import figures, tables
+from .experiments.runner import format_table, run
+from .experiments.scenarios import (
+    HOMA_RTT_BYTES_SIM,
+    all_to_all_scenario,
+    incast_scenario,
+)
+from .transport.aeolus import Aeolus
+from .transport.d2tcp import D2tcp
+from .transport.dcqcn import Dcqcn
+from .transport.dctcp import Dctcp
+from .transport.expresspass import ExpressPass
+from .transport.halfback import Halfback
+from .transport.homa import Homa
+from .transport.hpcc import Hpcc
+from .transport.ndp import Ndp
+from .transport.pias import Pias
+from .transport.rc3 import Rc3
+from .transport.swift import Swift
+from .transport.tcp10 import Tcp10
+from .transport.timely import Timely
+from .workloads.distributions import WORKLOADS
+
+SCHEME_FACTORIES: Dict[str, Callable[[], object]] = {
+    "ppt": Ppt,
+    "ppt-swift": PptSwift,
+    "ppt-hpcc": PptHpcc,
+    "dctcp": Dctcp,
+    "d2tcp": D2tcp,
+    "dcqcn": Dcqcn,
+    "pias": Pias,
+    "rc3": Rc3,
+    "swift": Swift,
+    "timely": Timely,
+    "hpcc": Hpcc,
+    "tcp10": Tcp10,
+    "halfback": Halfback,
+    "homa": lambda: Homa(rtt_bytes=HOMA_RTT_BYTES_SIM),
+    "aeolus": lambda: Aeolus(rtt_bytes=HOMA_RTT_BYTES_SIM),
+    "ndp": lambda: Ndp(rtt_bytes=HOMA_RTT_BYTES_SIM),
+    "expresspass": ExpressPass,
+}
+
+FIGURES: Dict[str, Callable[..., dict]] = {
+    "fig01": figures.fig01_link_utilization,
+    "fig02": figures.fig02_hypothetical,
+    "fig03": figures.fig03_fill_factor,
+    "fig08": figures.fig08_09_testbed_15to15,
+    "fig10": figures.fig10_11_testbed_14to1,
+    "fig12": figures.fig12_13_largescale,
+    "fig14": figures.fig14_delay_based,
+    "fig15": figures.fig15_ablation_lcp_ecn,
+    "fig16": figures.fig16_ablation_ewd,
+    "fig17": figures.fig17_ablation_scheduling,
+    "fig18": figures.fig18_ablation_identification,
+    "fig19": figures.fig19_cpu_overhead,
+    "fig20": figures.fig20_link_utilization,
+    "fig21": figures.fig21_memcached,
+    "fig22": figures.fig22_100_400g,
+    "fig23": figures.fig23_incast_sweep,
+    "fig24": figures.fig24_rc3_lp_buffer,
+    "fig25": figures.fig25_pias_hpcc,
+    "fig26": figures.fig26_non_oversubscribed,
+    "fig27": figures.fig27_send_buffer,
+    "fig28": figures.fig28_buffer_occupancy,
+    "fig29": figures.fig29_transfer_efficiency,
+    "sec41": figures.sec41_identification_accuracy,
+}
+
+# figure drivers accepting a workload argument
+_WORKLOAD_FIGURES = {"fig08", "fig10", "fig12"}
+
+
+def _cmd_list_schemes(_args) -> int:
+    rows = [{"scheme": name} for name in sorted(SCHEME_FACTORIES)]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_list_workloads(_args) -> int:
+    rows = []
+    for name, cdf in sorted(WORKLOADS.items()):
+        rows.append({
+            "workload": name,
+            "mean_bytes": int(cdf.mean()),
+            "pct_le_100KB": f"{cdf.fraction_below(100_000) * 100:.0f}%",
+        })
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    cdf = WORKLOADS[args.workload]
+    if args.pattern == "incast":
+        scenario = incast_scenario(
+            "cli", cdf, n_senders=args.incast_senders, load=args.load,
+            n_flows=args.flows, size_cap=args.size_cap, seed=args.seed)
+    else:
+        scenario = all_to_all_scenario(
+            "cli", cdf, load=args.load, n_flows=args.flows,
+            size_cap=args.size_cap, seed=args.seed)
+    rows = []
+    for name in args.schemes:
+        scheme = SCHEME_FACTORIES[name]()
+        result = run(scheme, scenario)
+        stats = result.stats
+        rows.append({
+            "scheme": name,
+            "flows": f"{result.completed}/{len(result.flows)}",
+            "overall_avg_ms": stats.overall_avg * 1e3,
+            "small_avg_ms": stats.small_avg * 1e3,
+            "small_p99_ms": stats.small_p99 * 1e3,
+            "large_avg_ms": stats.large_avg * 1e3,
+        })
+        print(f"done: {name}", file=sys.stderr)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    fn = FIGURES[args.name]
+    kwargs = {}
+    if args.name in _WORKLOAD_FIGURES and args.workload:
+        kwargs["workload"] = args.workload
+    result = fn(**kwargs)
+    print(format_table(result["rows"]))
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    print("Table 1 — design space")
+    print(format_table(tables.table1()))
+    print("\nTable 2 — workload statistics")
+    print(format_table(tables.table2()))
+    print("\nTable 3 — testbed parameters")
+    print(format_table(tables.table3()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PPT (SIGCOMM 2024) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-schemes").set_defaults(fn=_cmd_list_schemes)
+    sub.add_parser("list-workloads").set_defaults(fn=_cmd_list_workloads)
+
+    run_p = sub.add_parser("run", help="run schemes on a scenario")
+    run_p.add_argument("--schemes", nargs="+", default=["ppt", "dctcp"],
+                       choices=sorted(SCHEME_FACTORIES))
+    run_p.add_argument("--workload", default="web-search",
+                       choices=sorted(WORKLOADS))
+    run_p.add_argument("--load", type=float, default=0.5)
+    run_p.add_argument("--flows", type=int, default=150)
+    run_p.add_argument("--size-cap", type=int, default=2_000_000)
+    run_p.add_argument("--seed", type=int, default=7)
+    run_p.add_argument("--pattern", choices=["all-to-all", "incast"],
+                       default="all-to-all")
+    run_p.add_argument("--incast-senders", type=int, default=16)
+    run_p.set_defaults(fn=_cmd_run)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("name", choices=sorted(FIGURES))
+    fig_p.add_argument("--workload", default=None,
+                       choices=["web-search", "data-mining", "memcached"])
+    fig_p.set_defaults(fn=_cmd_figure)
+
+    sub.add_parser("tables").set_defaults(fn=_cmd_tables)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

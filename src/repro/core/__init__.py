@@ -1,0 +1,24 @@
+"""PPT: the paper's primary contribution."""
+
+from .hypothetical import HypotheticalDctcp, MwRecordingDctcp
+from .identification import (
+    MEMCACHED_APP,
+    WEB_SERVER_APP,
+    AppWriteModel,
+    identification_accuracy,
+    identify_large,
+)
+from .lcp import LcpController
+from .ppt import Ppt, PptReceiver, PptSender
+from .ppt_hpcc import PptHpcc, PptHpccSender
+from .ppt_swift import PptSwift, PptSwiftSender
+from .tagging import MirrorTagger
+
+__all__ = [
+    "Ppt", "PptSender", "PptReceiver", "PptSwift", "PptSwiftSender",
+    "PptHpcc", "PptHpccSender",
+    "LcpController", "MirrorTagger",
+    "identify_large", "identification_accuracy", "AppWriteModel",
+    "MEMCACHED_APP", "WEB_SERVER_APP",
+    "HypotheticalDctcp", "MwRecordingDctcp",
+]

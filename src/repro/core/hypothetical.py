@@ -1,0 +1,172 @@
+"""The *hypothetical* DCTCP of §2.3 (Figs. 2, 3, 20).
+
+Construction follows the paper exactly: "We first run the default DCTCP
+and record each flow's maximum window (MW).  Then, we run the
+hypothetical DCTCP that sends just enough opportunistic packets to fill
+the gap to MW for each flow in each RTT."
+
+:class:`MwRecordingDctcp` is pass one — plain DCTCP that stores each
+flow's maximum congestion window in a shared table keyed by flow id.
+:class:`HypotheticalDctcp` is pass two — DCTCP plus an oracle filler that
+every RTT tops up low-priority in-flight opportunistic packets to
+``fill_factor * MW - cwnd`` (``fill_factor`` sweeps Fig. 3's 50%–150%).
+Opportunistic packets ride P4 so they never displace normal traffic, and
+are paced over the RTT.  The oracle is deliberately ECN-blind — it fills
+to the target no matter what, which is exactly what makes the Fig. 3
+overfill sweep hurt.
+
+Experiment drivers use :func:`two_pass` from
+:mod:`repro.experiments.runner` to run both passes with the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.packet import ACK, Packet
+from ..transport.base import Flow, Scheme, TransportContext
+from ..transport.dctcp import Dctcp, DctcpSender
+from ..transport.window import WindowReceiver
+
+
+class _RecordingSender(DctcpSender):
+    def __init__(self, flow: Flow, ctx: TransportContext,
+                 table: Dict[int, float]) -> None:
+        super().__init__(flow, ctx)
+        self._table = table
+
+    def stop(self) -> None:
+        # Footnote 3: only congestion-avoidance windows count towards MW;
+        # a flow that never left startup reports its final window instead
+        # of the slow-start overshoot peak.
+        if self.startup_done and self.wmax > 0:
+            mw = self.wmax
+        else:
+            mw = min(self.max_cwnd_seen, self.cwnd + self.cfg.init_cwnd)
+        self._table[self.flow.flow_id] = mw
+        super().stop()
+
+
+class MwRecordingDctcp(Scheme):
+    """Pass one: default DCTCP, recording each flow's maximum window."""
+
+    name = "dctcp-recording"
+
+    def __init__(self) -> None:
+        self.mw_table: Dict[int, float] = {}
+
+    def start_flow(self, flow: Flow, ctx: TransportContext) -> None:
+        sender = _RecordingSender(flow, ctx, self.mw_table)
+        receiver = WindowReceiver(flow, ctx)
+        ctx.network.attach(flow.flow_id, flow.src, flow.dst, sender, receiver)
+        sender.start()
+
+
+class _HypotheticalSender(DctcpSender):
+    """DCTCP + per-RTT oracle gap filler."""
+
+    def __init__(self, flow: Flow, ctx: TransportContext,
+                 mw: float, fill_factor: float) -> None:
+        super().__init__(flow, ctx)
+        # Filling beyond the path's capacity (BDP plus about one marking
+        # threshold of buffer) is pure loss — exactly what Fig. 3 shows
+        # for fill factors above 1.
+        mw = min(mw, 2.0 * ctx.bdp_packets(flow))
+        self.target_window = fill_factor * mw
+        self.lp_outstanding: Dict[int, float] = {}
+        self.lp_sent = 0
+        self._fill_timer = None
+
+    def start(self) -> None:
+        super().start()
+        self._fill_round()
+
+    def stop(self) -> None:
+        super().stop()
+        if self._fill_timer is not None:
+            self._fill_timer.cancel()
+            self._fill_timer = None
+
+    def _fill_round(self) -> None:
+        self._fill_timer = None
+        if self.finished:
+            return
+        # purge presumed-lost opportunistic packets
+        horizon = self.sim.now - 2.0 * max(self.srtt, self.base_rtt)
+        for seq in [s for s, t in self.lp_outstanding.items() if t < horizon]:
+            del self.lp_outstanding[seq]
+        gap = int(self.target_window - self.cwnd - len(self.lp_outstanding))
+        rtt = max(self.base_rtt, 1e-9)
+        if gap > 0:
+            interval = rtt / gap
+            for i in range(gap):
+                self.sim.schedule(i * interval, self._fill_one)
+        self._fill_timer = self.sim.schedule(max(self.srtt, rtt),
+                                             self._fill_round)
+
+    def _fill_one(self) -> None:
+        if self.finished:
+            return
+        seq = self._pick_tail_seq()
+        if seq is None:
+            return
+        pkt = self.build_packet(seq)
+        pkt.lcp = True
+        pkt.priority = 4
+        pkt.sent_at = self.sim.now
+        self.lp_outstanding[seq] = self.sim.now
+        self.lp_sent += 1
+        self.pkts_transmitted += 1
+        self.host.send(pkt)
+
+    def _pick_tail_seq(self) -> Optional[int]:
+        seq = self.buffer_end() - 1
+        while seq >= 0:
+            if seq <= self.send_ptr:
+                return None
+            if (seq not in self.delivered and seq not in self.outstanding
+                    and seq not in self.lp_outstanding):
+                return seq
+            seq -= 1
+        return None
+
+    # Like PPT's HCP (see repro.core.ppt), the primary loop does not skip
+    # packets the filler has in flight: completion must never be gated on
+    # a queued low-priority copy.
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind != ACK or self.finished:
+            return
+        if pkt.lcp:
+            self.delivered.add(pkt.seq)
+            self.lp_outstanding.pop(pkt.seq, None)
+            if pkt.ack_seq > self.cum:
+                for s in range(self.cum, pkt.ack_seq):
+                    self.delivered.add(s)
+                    self.outstanding.pop(s, None)
+                self.cum = pkt.ack_seq
+            if len(self.delivered) >= self.n_packets:
+                self.stop()
+                return
+            self.try_send()
+            return
+        self.handle_ack(pkt)
+
+
+class HypotheticalDctcp(Scheme):
+    """Pass two: fill each flow's window gap to ``fill_factor * MW``."""
+
+    name = "hypothetical-dctcp"
+
+    def __init__(self, mw_table: Dict[int, float], fill_factor: float = 1.0):
+        self.mw_table = mw_table
+        self.fill_factor = fill_factor
+        if fill_factor != 1.0:
+            self.name = f"hypothetical-dctcp-{int(fill_factor * 100)}"
+
+    def start_flow(self, flow: Flow, ctx: TransportContext) -> None:
+        mw = self.mw_table.get(flow.flow_id, float(ctx.config.init_cwnd))
+        sender = _HypotheticalSender(flow, ctx, mw, self.fill_factor)
+        receiver = WindowReceiver(flow, ctx)
+        ctx.network.attach(flow.flow_id, flow.src, flow.dst, sender, receiver)
+        sender.start()

@@ -1,0 +1,186 @@
+"""PPT — the assembled pragmatic transport (§2.3 "putting it all together").
+
+A PPT flow is one flow split in two: the HCP loop (plain DCTCP) sends
+normal packets in order from the first byte of the send buffer, while the
+LCP loop (:mod:`repro.core.lcp`) sends opportunistic packets from the very
+last byte.  The buffer-aware scheduler tags HCP packets P0–P3 and LCP
+packets P4–P7 (:mod:`repro.core.tagging`), with large flows identified at
+the first syscall (:mod:`repro.core.identification`).
+
+The receiver isolates the two loops (§5.2): high-priority packets go
+through the standard per-packet ACK path feeding DCTCP; opportunistic
+packets are counted and acknowledged with one low-priority ACK per *two*
+LP data packets, carrying SACK tags for both and the ECN-Echo of either.
+When the ACK for LP data advances past the HCP loop's next sequence, the
+sender simply advances its head ("tweak the ACK processing by advancing
+the send queue's head"), implemented here by the shared delivered set that
+the HCP head pointer skips over.
+
+Ablation flags reproduce the §6.3.1 variants:
+
+* ``lcp_ecn=False``   — Fig. 15 (no ECN for the LCP loop),
+* ``ewd=False``       — Fig. 16 (line-rate LCP instead of EWD),
+* ``scheduling=False``— Fig. 17 (all flows share one priority per loop),
+* ``identification=False`` — Fig. 18 (every flow treated as unidentified),
+* ``lcp_enabled=False``    — degenerates to plain DCTCP + scheduling.
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import ACK, DATA, Packet, make_ack
+from ..transport.base import Flow, Scheme, TransportContext
+from ..transport.dctcp import DctcpSender
+from ..transport.window import WindowReceiver
+from .identification import identify_large
+from .lcp import LcpController
+from .tagging import MirrorTagger
+
+
+class PptSender(DctcpSender):
+    """HCP (DCTCP) sender with the LCP controller and mirror tagging."""
+
+    def __init__(self, flow: Flow, ctx: TransportContext, scheme: "Ppt") -> None:
+        super().__init__(flow, ctx)
+        self.scheme = scheme
+        cfg = ctx.config
+        self.identified_large = bool(
+            scheme.identification
+            and identify_large(flow.first_syscall_bytes or 0,
+                               cfg.identification_threshold)
+        )
+        self.tagger = MirrorTagger(self.identified_large,
+                                   cfg.demotion_thresholds)
+        self.lcp = LcpController(
+            self,
+            ecn=scheme.lcp_ecn,
+            ewd=scheme.ewd,
+            scheduling=scheme.scheduling,
+            delay_large_first_loop=scheme.identification,
+        )
+        self.on_window_update = self._window_update_hook
+
+    def _window_update_hook(self, _sender) -> None:
+        if self.scheme.lcp_enabled:
+            self.lcp.on_window_update()
+
+    # -- scheme hooks --------------------------------------------------------
+
+    def priority_for(self, seq: int) -> int:
+        if not self.scheme.scheduling:
+            return 0
+        bytes_sent = seq * self.cfg.payload_per_packet()
+        return self.tagger.hcp_priority(bytes_sent)
+
+    # NOTE: the HCP loop does *not* skip packets the LCP loop has in
+    # flight (default ``claimed_elsewhere`` = False).  Exactly like the
+    # kernel prototype, the head keeps transmitting in order and only
+    # advances past bytes the receiver has already acknowledged via
+    # LP-ACKs (§5.2's snd_nxt tweak, realised through the shared
+    # ``delivered`` set).  The occasional duplicate costs only spare
+    # low-priority bandwidth; gating completion on a queued P4-P7 packet
+    # would cost latency.
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        super().start()
+        if self.scheme.lcp_enabled:
+            self.lcp.on_flow_start()
+
+    def stop(self) -> None:
+        super().stop()
+        self.lcp.shutdown()
+
+    # -- packet dispatch ----------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind != ACK or self.finished:
+            return
+        if pkt.lcp:
+            self.lcp.on_lp_ack(pkt)
+        else:
+            self.handle_ack(pkt)
+
+
+class PptReceiver(WindowReceiver):
+    """Receiver with the 2:1 low-priority ACK rule (§3.2, §5.2)."""
+
+    def __init__(self, flow: Flow, ctx: TransportContext) -> None:
+        super().__init__(flow, ctx)
+        self._lp_pending: list = []
+        self._lp_pending_ce = False
+        self.lp_pkts_received = 0
+        self.lp_acks_sent = 0
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == DATA and pkt.lcp:
+            self._on_lp_data(pkt)
+            return
+        super().on_packet(pkt)
+
+    def _on_lp_data(self, pkt: Packet) -> None:
+        self.data_pkts_received += 1
+        self.lp_pkts_received += 1
+        if pkt.seq in self.delivered:
+            self.dup_pkts_received += 1
+        else:
+            self.delivered.add(pkt.seq)
+            while self.cum in self.delivered:
+                self.cum += 1
+        self._lp_pending.append(pkt.seq)
+        self._lp_pending_ce = self._lp_pending_ce or pkt.ecn_ce
+        if len(self._lp_pending) >= 2:
+            self._send_lp_ack(pkt)
+        if not self._done and len(self.delivered) >= self.n_packets:
+            self._done = True
+            self.ctx.on_complete(self.flow)
+
+    def _send_lp_ack(self, pkt: Packet) -> None:
+        ack = make_ack(pkt, ack_seq=self.cum, priority=7)
+        ack.lcp = True
+        ack.ecn_ce = self._lp_pending_ce
+        ack.sack = tuple(self._lp_pending)
+        self._lp_pending = []
+        self._lp_pending_ce = False
+        self.lp_acks_sent += 1
+        self.ctx.network.send_control(ack)
+
+
+class Ppt(Scheme):
+    """The pragmatic transport.  See module docstring for the flags."""
+
+    name = "ppt"
+
+    def __init__(
+        self,
+        *,
+        lcp_enabled: bool = True,
+        lcp_ecn: bool = True,
+        ewd: bool = True,
+        scheduling: bool = True,
+        identification: bool = True,
+    ) -> None:
+        self.lcp_enabled = lcp_enabled
+        self.lcp_ecn = lcp_ecn
+        self.ewd = ewd
+        self.scheduling = scheduling
+        self.identification = identification
+        suffix = []
+        if not lcp_enabled:
+            suffix.append("nolcp")
+        if not lcp_ecn:
+            suffix.append("noecn")
+        if not ewd:
+            suffix.append("noewd")
+        if not scheduling:
+            suffix.append("nosched")
+        if not identification:
+            suffix.append("noident")
+        if suffix:
+            self.name = "ppt-" + "-".join(suffix)
+
+    def start_flow(self, flow: Flow, ctx: TransportContext) -> None:
+        sender = PptSender(flow, ctx, self)
+        receiver = PptReceiver(flow, ctx)
+        ctx.network.attach(flow.flow_id, flow.src, flow.dst, sender, receiver)
+        sender.start()

@@ -1,0 +1,14 @@
+"""Experiment harness: scenarios, runners and per-figure drivers."""
+
+from . import figures, scenarios, sweeps, tables
+from .runner import (
+    RunResult,
+    Scenario,
+    format_table,
+    run,
+    run_all,
+    two_pass,
+)
+
+__all__ = ["Scenario", "RunResult", "run", "run_all", "two_pass",
+           "format_table", "figures", "scenarios", "tables", "sweeps"]

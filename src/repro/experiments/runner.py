@@ -1,0 +1,163 @@
+"""Experiment harness: run one scheme over one scenario, collect results.
+
+A :class:`Scenario` bundles a topology factory, a flow list factory and a
+transport config; :func:`run` builds a fresh fabric, lets the scheme
+configure it (trimming, spraying, selective drop), schedules every flow's
+start, drains the simulator and returns a :class:`RunResult` with FCT
+statistics plus the live network for deeper inspection (samplers,
+efficiency, CPU proxies).
+
+Because every piece of randomness is seeded, running the same scenario
+twice gives identical flows and identical packet-level behaviour — which
+is what makes the two-pass *hypothetical DCTCP* construction
+(:func:`two_pass`) meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.hypothetical import HypotheticalDctcp, MwRecordingDctcp
+from ..metrics.fct import FctStats
+from ..sim.topology import Topology
+from ..transport.base import Flow, Scheme, TransportConfig, TransportContext
+
+
+@dataclass
+class Scenario:
+    """A reproducible experiment setup.
+
+    ``build_topology`` returns a fresh :class:`Topology` (with its own
+    simulator);  ``build_flows`` receives that topology and returns the
+    flow list (so patterns can reference real host ids and rates).
+    """
+
+    name: str
+    build_topology: Callable[[], Topology]
+    build_flows: Callable[[Topology], List[Flow]]
+    config: TransportConfig = field(default_factory=TransportConfig)
+    max_time: float = 10.0  # simulated-seconds safety stop
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass
+class RunResult:
+    scheme_name: str
+    scenario_name: str
+    flows: List[Flow]
+    stats: FctStats
+    topology: Topology
+    ctx: TransportContext
+    wall_events: int
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for f in self.flows if f.completed)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / max(1, len(self.flows))
+
+    def summary(self) -> str:
+        return (f"[{self.scheme_name} @ {self.scenario_name}] "
+                f"{self.completed}/{len(self.flows)} flows, {self.stats}")
+
+
+def run(
+    scheme: Scheme,
+    scenario: Scenario,
+    *,
+    instruments: Optional[Callable[[Topology], object]] = None,
+) -> RunResult:
+    """Execute ``scheme`` on ``scenario``; returns results when all flows
+    finish or the safety stop is reached.
+
+    ``instruments`` may attach samplers to the freshly built topology
+    before any flow starts; whatever it returns is stored on the result's
+    ``ctx.extra['instruments']``.
+    """
+    topo = scenario.build_topology()
+    scheme.configure_network(topo.network)
+    flows = scenario.build_flows(topo)
+    ctx = TransportContext(topo.sim, topo.network, scenario.config)
+    if instruments is not None:
+        ctx.extra["instruments"] = instruments(topo)
+
+    for flow in flows:
+        topo.sim.schedule_at(flow.start_time, scheme.start_flow, flow, ctx)
+
+    n_flows = len(flows)
+    # Drain in slices so we can stop as soon as everything completes
+    # (RTO timers would otherwise keep the heap warm until max_time).
+    slice_len = max(scenario.max_time / 200.0, 1e-4)
+    t = 0.0
+    while len(ctx.completed) < n_flows and t < scenario.max_time:
+        t += slice_len
+        topo.sim.run(until=t)
+
+    stats = FctStats.from_flows(flows)
+    return RunResult(
+        scheme_name=scheme.name,
+        scenario_name=scenario.name,
+        flows=flows,
+        stats=stats,
+        topology=topo,
+        ctx=ctx,
+        wall_events=topo.sim.events_run,
+    )
+
+
+def run_all(
+    schemes: List[Scheme],
+    scenario: Scenario,
+) -> Dict[str, RunResult]:
+    """Run several schemes on (fresh builds of) the same scenario."""
+    return {scheme.name: run(scheme, scenario) for scheme in schemes}
+
+
+def two_pass(
+    scenario: Scenario,
+    fill_factor: float = 1.0,
+) -> Tuple[RunResult, RunResult]:
+    """The hypothetical-DCTCP construction (§2.3).
+
+    Pass one runs default DCTCP recording each flow's maximum window;
+    pass two replays the identical scenario with the oracle gap filler.
+    Returns ``(baseline_result, hypothetical_result)``.
+    """
+    recorder = MwRecordingDctcp()
+    baseline = run(recorder, scenario)
+    hypothetical = HypotheticalDctcp(recorder.mw_table, fill_factor)
+    filled = run(hypothetical, scenario)
+    return baseline, filled
+
+
+def format_table(rows: List[dict], columns: Optional[List[str]] = None) -> str:
+    """Plain-text table used by the benchmark harness output."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        line = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            widths[c] = max(widths[c], len(text))
+            line.append(text)
+        rendered.append(line)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[c]) for cell, c in zip(line, columns))
+        for line in rendered
+    )
+    return f"{header}\n{sep}\n{body}"

@@ -1,0 +1,271 @@
+"""Canonical scenario builders for every experiment in the paper.
+
+Scale note: the paper's fabrics (144 hosts, thousands of flows, seconds
+of simulated traffic) would take hours per scheme in pure Python, so the
+default scenarios here are *scaled replicas*: the same topology shape,
+link-speed ratio, oversubscription, buffer/ECN settings and workloads,
+with fewer hosts and a few hundred flows, and heavy-tailed size
+distributions capped so a run finishes in seconds.  Every builder takes
+overrides, so the full-size configuration is one call away (see
+``examples/full_scale.py``).
+
+The arrival *load* is always preserved — capping sizes feeds the capped
+mean back into the Poisson arrival rate (see
+:func:`repro.workloads.generator.poisson_flows`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..sim.network import QueueConfig
+from ..sim.topology import Topology, leaf_spine, star
+from ..transport.base import Flow, TransportConfig
+from ..units import gbps, kb, mb, us
+from ..workloads.distributions import EmpiricalCdf, WEB_SEARCH
+from ..workloads.generator import poisson_flows
+from ..workloads.patterns import all_to_all, incast
+from .runner import Scenario
+
+# ---------------------------------------------------------------------------
+# fabric builders
+# ---------------------------------------------------------------------------
+
+SIM_BUFFER = 120_000          # per-port buffer, §6.2
+SIM_K_HIGH = 96_000           # HCP marking threshold, §6.2
+SIM_K_LOW = 86_000            # LCP marking threshold, §6.2
+TESTBED_BUFFER = 925_000      # 50MB shared by 54 ports (Table 3)
+TESTBED_K_HIGH = 100_000      # Table 3
+TESTBED_K_LOW = 80_000        # Table 3
+
+
+def sim_qcfg(buffer_bytes: int = SIM_BUFFER, k_high: int = SIM_K_HIGH,
+             k_low: int = SIM_K_LOW, **kwargs) -> QueueConfig:
+    return QueueConfig(buffer_bytes=buffer_bytes,
+                       ecn_thresholds=[k_high] * 4 + [k_low] * 4, **kwargs)
+
+
+def sim_fabric(
+    *,
+    n_leaf: int = 4,
+    n_spine: int = 2,
+    hosts_per_leaf: int = 8,
+    edge_rate: float = gbps(40),
+    core_rate: float = gbps(100),
+    prop_delay: float = us(2),
+    qcfg: Optional[QueueConfig] = None,
+) -> Callable[[], Topology]:
+    """Scaled replica of the §6.2 oversubscribed 40/100G fabric."""
+    qcfg = qcfg or sim_qcfg()
+
+    def build() -> Topology:
+        return leaf_spine(n_leaf=n_leaf, n_spine=n_spine,
+                          hosts_per_leaf=hosts_per_leaf,
+                          edge_rate=edge_rate, core_rate=core_rate,
+                          prop_delay=prop_delay, qcfg=qcfg)
+
+    return build
+
+
+def sim_fabric_100_400g(**overrides) -> Callable[[], Topology]:
+    """Fig. 22's higher-line-rate variant."""
+    params = dict(edge_rate=gbps(100), core_rate=gbps(400))
+    params.update(overrides)
+    return sim_fabric(**params)
+
+
+def sim_fabric_non_oversubscribed(**overrides) -> Callable[[], Topology]:
+    """Appendix E: 10G edge / 40G core, fully provisioned."""
+    params = dict(edge_rate=gbps(10), core_rate=gbps(40),
+                  qcfg=sim_qcfg(k_high=30_000, k_low=25_000))
+    params.update(overrides)
+    return sim_fabric(**params)
+
+
+def testbed_fabric(n_hosts: int = 15) -> Callable[[], Topology]:
+    """The CloudLab testbed stand-in: 15 hosts, one switch, 10G, ~80us RTT."""
+    qcfg = QueueConfig(buffer_bytes=TESTBED_BUFFER,
+                       ecn_thresholds=[TESTBED_K_HIGH] * 4 + [TESTBED_K_LOW] * 4)
+
+    def build() -> Topology:
+        return star(n_hosts, rate=gbps(10), prop_delay=us(19), qcfg=qcfg)
+
+    return build
+
+
+def micro_fabric(rate: float = gbps(40),
+                 buffer_bytes: int = 250_000,
+                 k_high: int = 120_000,
+                 k_low: int = 100_000) -> Callable[[], Topology]:
+    """The 2-sender/1-receiver microbenchmark fabric (Figs 1, 20, 28, 29)."""
+    qcfg = sim_qcfg(buffer_bytes, k_high, k_low)
+
+    def build() -> Topology:
+        return star(3, rate=rate, prop_delay=us(5), qcfg=qcfg)
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# transport configs
+# ---------------------------------------------------------------------------
+
+
+def sim_config(**overrides) -> TransportConfig:
+    """Large-scale-simulation defaults (§6.2): 2GB send buffer, 1ms RTO."""
+    params = dict(min_rto=1e-3, send_buffer_bytes=2_000_000_000,
+                  identification_threshold=100_000,
+                  demotion_thresholds=(100_000, 400_000, 1_000_000))
+    params.update(overrides)
+    return TransportConfig(**params)
+
+
+def testbed_config(**overrides) -> TransportConfig:
+    """Testbed defaults (Table 3): RTOmin 10ms, 100KB thresholds."""
+    params = dict(min_rto=10e-3, send_buffer_bytes=2_000_000_000,
+                  identification_threshold=100_000,
+                  demotion_thresholds=(100_000, 400_000, 1_000_000))
+    params.update(overrides)
+    return TransportConfig(**params)
+
+
+# ---------------------------------------------------------------------------
+# scenario builders
+# ---------------------------------------------------------------------------
+
+DEFAULT_SIZE_CAP = 2_000_000
+
+
+def all_to_all_scenario(
+    name: str,
+    cdf: EmpiricalCdf,
+    *,
+    load: float = 0.5,
+    n_flows: int = 150,
+    fabric: Optional[Callable[[], Topology]] = None,
+    config: Optional[TransportConfig] = None,
+    size_cap: Optional[int] = DEFAULT_SIZE_CAP,
+    seed: int = 7,
+    max_time: float = 10.0,
+) -> Scenario:
+    """All-to-all Poisson traffic on a fabric (the §6.2 shape)."""
+    fabric = fabric or sim_fabric()
+
+    def build_flows(topo: Topology) -> List[Flow]:
+        return poisson_flows(
+            all_to_all(topo.host_ids()), cdf,
+            load=load, link_rate=topo.edge_rate, n_flows=n_flows,
+            n_senders=topo.n_hosts, seed=seed, size_cap=size_cap)
+
+    return Scenario(name, fabric, build_flows,
+                    config=config or sim_config(), max_time=max_time)
+
+
+def incast_scenario(
+    name: str,
+    cdf: EmpiricalCdf,
+    *,
+    n_senders: int,
+    load: float = 0.5,
+    n_flows: int = 120,
+    fabric: Optional[Callable[[], Topology]] = None,
+    config: Optional[TransportConfig] = None,
+    size_cap: Optional[int] = DEFAULT_SIZE_CAP,
+    seed: int = 11,
+    max_time: float = 20.0,
+    receiver: int = 0,
+) -> Scenario:
+    """N-to-1 incast: the load is defined against the receiver downlink."""
+    fabric = fabric or sim_fabric()
+
+    def build_flows(topo: Topology) -> List[Flow]:
+        senders = [h for h in topo.host_ids() if h != receiver][:n_senders]
+        return poisson_flows(
+            incast(senders, receiver), cdf,
+            load=load, link_rate=topo.edge_rate, n_flows=n_flows,
+            n_senders=1, seed=seed, size_cap=size_cap)
+
+    return Scenario(name, fabric, build_flows,
+                    config=config or sim_config(), max_time=max_time)
+
+
+def two_to_one_scenario(
+    name: str,
+    cdf: EmpiricalCdf = WEB_SEARCH,
+    *,
+    load: float = 0.5,
+    n_flows: int = 120,
+    rate: float = gbps(40),
+    k_high: int = 120_000,
+    k_low: int = 100_000,
+    buffer_bytes: int = 250_000,
+    size_cap: Optional[int] = 3_000_000,
+    seed: int = 3,
+    max_time: float = 30.0,
+) -> Scenario:
+    """The Fig 1/20/28/29 microbenchmark: two senders, one receiver."""
+    fabric = micro_fabric(rate, buffer_bytes, k_high, k_low)
+
+    def build_flows(topo: Topology) -> List[Flow]:
+        return poisson_flows(
+            incast([0, 1], 2), cdf,
+            load=load, link_rate=topo.edge_rate, n_flows=n_flows,
+            n_senders=1, seed=seed, size_cap=size_cap)
+
+    return Scenario(name, fabric, build_flows, config=sim_config(),
+                    max_time=max_time)
+
+
+def testbed_scenario(
+    name: str,
+    cdf: EmpiricalCdf,
+    *,
+    load: float = 0.5,
+    n_flows: int = 120,
+    pattern: str = "all-to-all",   # or "incast" (the 14-to-1 pattern)
+    size_cap: Optional[int] = DEFAULT_SIZE_CAP,
+    seed: int = 5,
+    max_time: float = 60.0,
+) -> Scenario:
+    """The §6.1 testbed experiments: 15 hosts, 10G star, RTOmin 10ms."""
+    fabric = testbed_fabric()
+
+    def build_flows(topo: Topology) -> List[Flow]:
+        hosts = topo.host_ids()
+        if pattern == "incast":
+            pair = incast(hosts[1:], hosts[0])
+            n_senders = 1
+        else:
+            pair = all_to_all(hosts)
+            n_senders = topo.n_hosts
+        return poisson_flows(pair, cdf, load=load, link_rate=topo.edge_rate,
+                             n_flows=n_flows, n_senders=n_senders, seed=seed,
+                             size_cap=size_cap)
+
+    return Scenario(name, fabric, build_flows, config=testbed_config(),
+                    max_time=max_time)
+
+
+# ---------------------------------------------------------------------------
+# scheme parameter helpers (paper settings)
+# ---------------------------------------------------------------------------
+
+HOMA_RTT_BYTES_SIM = 45_000       # §6.2: 45KB for the 40/100G fabric
+HOMA_RTT_BYTES_TESTBED = 50_000   # §6.1: 50KB on the testbed
+HOMA_OVERCOMMIT = 2               # both
+
+
+def testbed_params() -> List[dict]:
+    """Table 3 rows."""
+    return [
+        {"parameter": "Switch buffer size", "setting": "50MB (925KB/port)"},
+        {"parameter": "Switch port number", "setting": "54"},
+        {"parameter": "RTT", "setting": "80us"},
+        {"parameter": "RTO_min", "setting": "10ms"},
+        {"parameter": "RTTbytes for Homa", "setting": "50KB"},
+        {"parameter": "Overcommitment degree for Homa", "setting": "2"},
+        {"parameter": "DCTCP's ECN threshold", "setting": "100KB"},
+        {"parameter": "HCP's ECN threshold", "setting": "100KB"},
+        {"parameter": "LCP's ECN threshold", "setting": "80KB"},
+        {"parameter": "Identification threshold", "setting": "100KB"},
+    ]

@@ -1,0 +1,99 @@
+"""Parameter-sweep helpers: run a scheme grid over scenario variants.
+
+The per-figure drivers in :mod:`repro.experiments.figures` hard-code the
+paper's sweeps; this module provides the generic machinery for ad-hoc
+exploration (load sweeps, buffer sweeps, scheme grids) plus JSON
+import/export so results can be archived and diffed across code
+versions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..metrics.fct import FctStats
+from ..transport.base import Scheme
+from .runner import RunResult, Scenario, run
+
+
+@dataclass
+class SweepPoint:
+    """One (scheme, variant) cell of a sweep."""
+
+    scheme: str
+    variant: Dict[str, object]
+    stats: FctStats
+    completed: int
+    n_flows: int
+
+    def row(self) -> dict:
+        row = {"scheme": self.scheme}
+        row.update(self.variant)
+        row.update({
+            "overall_avg_ms": self.stats.overall_avg * 1e3,
+            "small_avg_ms": self.stats.small_avg * 1e3,
+            "small_p99_ms": self.stats.small_p99 * 1e3,
+            "large_avg_ms": self.stats.large_avg * 1e3,
+            "completed": f"{self.completed}/{self.n_flows}",
+        })
+        return row
+
+
+def sweep(
+    scheme_factories: Dict[str, Callable[[], Scheme]],
+    scenario_factory: Callable[..., Scenario],
+    variants: Sequence[Dict[str, object]],
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SweepPoint]:
+    """Run every scheme on every scenario variant.
+
+    ``scenario_factory`` is called with each variant dict's items as
+    keyword arguments and must return a fresh :class:`Scenario`.
+    """
+    points: List[SweepPoint] = []
+    for variant in variants:
+        scenario = scenario_factory(**variant)
+        for name, factory in scheme_factories.items():
+            if progress is not None:
+                progress(f"{name} @ {variant}")
+            result = run(factory(), scenario)
+            points.append(SweepPoint(
+                scheme=name,
+                variant=dict(variant),
+                stats=result.stats,
+                completed=result.completed,
+                n_flows=len(result.flows),
+            ))
+    return points
+
+
+def load_sweep_variants(loads: Iterable[float]) -> List[Dict[str, object]]:
+    """The most common sweep: one variant per network load."""
+    return [{"load": load} for load in loads]
+
+
+# ---------------------------------------------------------------------------
+# result archival
+# ---------------------------------------------------------------------------
+
+
+def rows_to_json(rows: List[dict], path: Union[str, Path],
+                 *, meta: Optional[dict] = None) -> None:
+    """Save printable rows (plus optional metadata) as JSON."""
+    payload = {"meta": meta or {}, "rows": rows}
+    Path(path).write_text(json.dumps(payload, indent=1, default=str))
+
+
+def rows_from_json(path: Union[str, Path]) -> List[dict]:
+    """Load rows previously saved with :func:`rows_to_json`."""
+    payload = json.loads(Path(path).read_text())
+    return payload["rows"]
+
+
+def points_to_json(points: List[SweepPoint], path: Union[str, Path],
+                   *, meta: Optional[dict] = None) -> None:
+    rows_to_json([p.row() for p in points], path, meta=meta)

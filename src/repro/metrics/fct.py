@@ -1,0 +1,112 @@
+"""Flow-completion-time statistics — the paper's primary metric.
+
+Every FCT figure reports some subset of four numbers, which
+:class:`FctStats` computes from a list of completed flows:
+
+* overall average FCT,
+* average FCT of small flows (0, 100KB],
+* 99th-percentile (tail) FCT of small flows,
+* average FCT of large flows (100KB, inf).
+
+The 100KB boundary is the paper's throughout (Table 2, Figs. 8-13).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..transport.base import Flow
+
+SMALL_FLOW_BYTES = 100_000
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile (p in [0, 100])."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    value = ordered[low] * (1.0 - frac) + ordered[high] * frac
+    # clamp: floating-point interpolation must stay within the sample
+    return min(max(value, ordered[low]), ordered[high])
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+@dataclass
+class FctStats:
+    """Summary statistics over a set of completed flows."""
+
+    n_flows: int
+    n_small: int
+    n_large: int
+    overall_avg: float
+    small_avg: float
+    small_p99: float
+    large_avg: float
+    overall_p99: float
+
+    @classmethod
+    def from_flows(cls, flows: Iterable[Flow],
+                   small_threshold: int = SMALL_FLOW_BYTES) -> "FctStats":
+        fcts: List[float] = []
+        small: List[float] = []
+        large: List[float] = []
+        for flow in flows:
+            fct = flow.fct
+            if fct is None:
+                continue
+            fcts.append(fct)
+            if flow.size <= small_threshold:
+                small.append(fct)
+            else:
+                large.append(fct)
+        return cls(
+            n_flows=len(fcts),
+            n_small=len(small),
+            n_large=len(large),
+            overall_avg=mean(fcts),
+            small_avg=mean(small),
+            small_p99=percentile(small, 99.0),
+            large_avg=mean(large),
+            overall_p99=percentile(fcts, 99.0),
+        )
+
+    def row(self) -> dict:
+        """Flat dict, milliseconds, for table printing."""
+        to_ms = lambda v: v * 1e3  # noqa: E731 - tiny local formatter
+        return {
+            "flows": self.n_flows,
+            "overall_avg_ms": to_ms(self.overall_avg),
+            "small_avg_ms": to_ms(self.small_avg),
+            "small_p99_ms": to_ms(self.small_p99),
+            "large_avg_ms": to_ms(self.large_avg),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n_flows} overall={self.overall_avg * 1e3:.3f}ms "
+            f"small_avg={self.small_avg * 1e3:.3f}ms "
+            f"small_p99={self.small_p99 * 1e3:.3f}ms "
+            f"large_avg={self.large_avg * 1e3:.3f}ms"
+        )
+
+
+def reduction(baseline: float, ours: float) -> float:
+    """Paper-style percentage reduction of ``ours`` vs ``baseline``."""
+    if baseline == 0 or math.isnan(baseline) or math.isnan(ours):
+        return float("nan")
+    return (baseline - ours) / baseline * 100.0

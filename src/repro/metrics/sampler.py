@@ -1,0 +1,100 @@
+"""Time-series samplers: link utilisation and buffer occupancy.
+
+Fig. 1 / Fig. 20 sample the bottleneck link's utilisation every 100us;
+Fig. 28 compares high- vs low-priority queue occupancy.  Both samplers
+piggyback on the port counters the simulator maintains anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.link import Port
+
+
+@dataclass
+class UtilizationSample:
+    time: float
+    utilization: float  # fraction of link capacity over the interval
+
+
+class LinkUtilizationSampler:
+    """Samples a port's throughput every ``interval`` seconds."""
+
+    def __init__(self, sim: Simulator, port: Port, interval: float,
+                 start: float = 0.0) -> None:
+        self.sim = sim
+        self.port = port
+        self.interval = interval
+        self.samples: List[UtilizationSample] = []
+        self._last_bytes = 0
+        self._started = False
+        sim.schedule(start, self._start)
+
+    def _start(self) -> None:
+        self._last_bytes = self.port.bytes_sent
+        self._started = True
+        self.sim.schedule(self.interval, self._sample)
+
+    def _sample(self) -> None:
+        sent = self.port.bytes_sent
+        delta = sent - self._last_bytes
+        self._last_bytes = sent
+        capacity = self.port.rate_bps * self.interval / 8.0
+        self.samples.append(
+            UtilizationSample(self.sim.now, delta / capacity if capacity else 0.0))
+        self.sim.schedule(self.interval, self._sample)
+
+    def utilizations(self) -> List[float]:
+        return [s.utilization for s in self.samples]
+
+    def average(self, skip: int = 0) -> float:
+        values = self.utilizations()[skip:]
+        if not values:
+            return float("nan")
+        return sum(values) / len(values)
+
+    def minimum(self, skip: int = 0) -> float:
+        values = self.utilizations()[skip:]
+        return min(values) if values else float("nan")
+
+
+@dataclass
+class OccupancySample:
+    time: float
+    total: int
+    high: int   # bytes in P0-P3
+    low: int    # bytes in P4-P7
+
+
+class BufferOccupancySampler:
+    """Samples a port's buffer occupancy split every ``interval``."""
+
+    def __init__(self, sim: Simulator, port: Port, interval: float,
+                 start: float = 0.0) -> None:
+        self.sim = sim
+        self.port = port
+        self.interval = interval
+        self.samples: List[OccupancySample] = []
+        sim.schedule(start, self._sample)
+
+    def _sample(self) -> None:
+        mux = self.port.mux
+        split = mux.occupancy_split()
+        self.samples.append(OccupancySample(
+            self.sim.now, mux.occupancy, split["high"], split["low"]))
+        self.sim.schedule(self.interval, self._sample)
+
+    def averages(self, skip: int = 0) -> Tuple[float, float, float]:
+        """(avg_total, avg_high, avg_low) in bytes."""
+        samples = self.samples[skip:]
+        if not samples:
+            return (float("nan"),) * 3
+        n = len(samples)
+        return (
+            sum(s.total for s in samples) / n,
+            sum(s.high for s in samples) / n,
+            sum(s.low for s in samples) / n,
+        )

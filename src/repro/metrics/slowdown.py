@@ -1,0 +1,81 @@
+"""FCT slowdown: completion time normalised by the flow's ideal time.
+
+The DCN literature (pFabric, Homa, Aeolus, ...) frequently reports
+*slowdown* — ``FCT / ideal_FCT`` where the ideal is the unloaded
+completion time over the flow's path (base RTT for the handshake-free
+one-way delivery plus serialization of every byte at the bottleneck
+rate).  Slowdown makes flows of different sizes comparable on one axis:
+a slowdown of 1 is perfect, 10 means the flow took ten times its
+unloaded optimum.
+
+The PPT paper reports absolute FCTs, so the reproduction's benchmarks
+use those; this module is provided for analysis parity with the wider
+literature and is exercised by the sweep example and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..sim.network import Network
+from ..transport.base import Flow
+from .fct import SMALL_FLOW_BYTES, mean, percentile
+
+
+def ideal_fct(flow: Flow, network: Network, *,
+              header_overhead: float = 64.0 / 1436.0) -> float:
+    """Unloaded completion time: one-way base delay + serialization of
+    the whole message (with per-packet header overhead) at the slowest
+    link on the path (the edge rate for our topologies)."""
+    src_rate = network.hosts[flow.src].uplink.rate_bps
+    wire_bytes = flow.size * (1.0 + header_overhead)
+    serialization = wire_bytes * 8.0 / src_rate
+    return network.base_delay(flow.src, flow.dst) + serialization
+
+
+@dataclass
+class SlowdownStats:
+    """Summary of per-flow slowdowns over a completed run."""
+
+    n_flows: int
+    overall_avg: float
+    overall_p99: float
+    small_avg: float
+    small_p99: float
+    large_avg: float
+
+    @classmethod
+    def from_flows(cls, flows: Iterable[Flow], network: Network,
+                   small_threshold: int = SMALL_FLOW_BYTES
+                   ) -> "SlowdownStats":
+        all_s: List[float] = []
+        small: List[float] = []
+        large: List[float] = []
+        for flow in flows:
+            if flow.fct is None:
+                continue
+            ideal = ideal_fct(flow, network)
+            if ideal <= 0:
+                continue
+            s = max(1.0, flow.fct / ideal)
+            all_s.append(s)
+            (small if flow.size <= small_threshold else large).append(s)
+        return cls(
+            n_flows=len(all_s),
+            overall_avg=mean(all_s),
+            overall_p99=percentile(all_s, 99.0),
+            small_avg=mean(small),
+            small_p99=percentile(small, 99.0),
+            large_avg=mean(large),
+        )
+
+    def row(self) -> dict:
+        return {
+            "flows": self.n_flows,
+            "slowdown_avg": self.overall_avg,
+            "slowdown_p99": self.overall_p99,
+            "small_slowdown_avg": self.small_avg,
+            "small_slowdown_p99": self.small_p99,
+            "large_slowdown_avg": self.large_avg,
+        }

@@ -1,0 +1,138 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, fast core: a binary heap of ``(time, seq, Event)``
+entries.  ``seq`` is a monotonically increasing insertion counter so that
+events scheduled for the same instant fire in insertion order, which makes
+every simulation bit-for-bit reproducible.
+
+Events are cancellable: :meth:`Event.cancel` marks the entry dead and the
+run loop skips it (lazy deletion), which is the standard way to get O(log n)
+cancellation out of ``heapq``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.9f} {name} {state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1e-6, callback, arg1, arg2)
+        sim.run(until=0.1)
+
+    ``sim.now`` is the current simulation time in seconds.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_events_run", "_running")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._events_run: int = 0
+        self._running: bool = False
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, self._seq, event))
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, fn, *args)
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event heap.
+
+        Stops when the heap is empty, when simulated time would pass
+        ``until``, or after ``max_events`` events.  Returns the number of
+        events executed by this call.
+        """
+        executed = 0
+        heap = self._heap
+        self._running = True
+        try:
+            while heap:
+                time, _seq, event = heap[0]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(heap)
+                self.now = time
+                event.fn(*event.args)
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        self._events_run += executed
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none remain."""
+        heap = self._heap
+        while heap:
+            time, _seq, event = heap[0]
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            event.fn(*event.args)
+            self._events_run += 1
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the heap is empty."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of heap entries, including cancelled ones."""
+        return len(self._heap)
+
+    @property
+    def events_run(self) -> int:
+        """Total events executed over the simulator's lifetime."""
+        return self._events_run

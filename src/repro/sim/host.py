@@ -1,0 +1,70 @@
+"""End host: NIC egress port plus per-flow transport endpoint dispatch.
+
+Each host owns exactly one uplink :class:`~repro.sim.link.Port` (to its
+ToR/leaf switch, or to the single switch in the star topology).  Transport
+endpoints (senders and receivers) register themselves per flow id; packets
+arriving at the host are dispatched to the endpoint registered for that
+flow.
+
+The host also carries simple datapath counters used by the Fig. 19 CPU
+overhead experiment: every packet sent or received and every timer fire
+counts as one datapath operation, which is the work a kernel would do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .link import Port
+from .packet import Packet
+
+
+class Host:
+    """A server attached to the fabric."""
+
+    __slots__ = ("host_id", "name", "uplink", "endpoints", "ops_sent",
+                 "ops_received", "default_endpoint")
+
+    def __init__(self, host_id: int, name: str = "") -> None:
+        self.host_id = host_id
+        self.name = name or f"host{host_id}"
+        self.uplink: Optional[Port] = None
+        self.endpoints: Dict[int, object] = {}
+        self.ops_sent = 0
+        self.ops_received = 0
+        # Fallback receiver for packets of unregistered flows (unused in
+        # normal operation; lets tests inject raw packets).
+        self.default_endpoint = None
+
+    def register(self, flow_id: int, endpoint) -> None:
+        """Attach ``endpoint`` (must expose ``on_packet``) for ``flow_id``."""
+        self.endpoints[flow_id] = endpoint
+
+    def unregister(self, flow_id: int) -> None:
+        self.endpoints.pop(flow_id, None)
+
+    def send(self, pkt: Packet) -> bool:
+        """Push a packet into the NIC egress queue."""
+        self.ops_sent += 1
+        if self.uplink is None:
+            raise RuntimeError(f"{self.name} has no uplink attached")
+        return self.uplink.send(pkt)
+
+    def receive(self, pkt: Packet) -> None:
+        """Dispatch an arriving packet to the endpoint owning its flow."""
+        self.ops_received += 1
+        endpoint = self.endpoints.get(pkt.flow_id)
+        if endpoint is not None:
+            endpoint.on_packet(pkt)
+        elif self.default_endpoint is not None:
+            self.default_endpoint.on_packet(pkt)
+        # else: flow already torn down; late packet is silently discarded,
+        # exactly like a closed socket.
+
+    @property
+    def datapath_ops(self) -> int:
+        """Total datapath operations (CPU-overhead proxy)."""
+        return self.ops_sent + self.ops_received
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name} flows={len(self.endpoints)}>"

@@ -1,0 +1,101 @@
+"""Output port: a strict-priority mux drained by a point-to-point link.
+
+A :class:`Port` is the unit of contention in the simulator.  Every device
+(host NIC or switch port) owns one Port per outgoing link.  When a packet is
+enqueued and the transmitter is idle, transmission begins immediately;
+otherwise the packet waits in the mux.  Completion of a transmission
+schedules the arrival at the peer after the propagation delay and pulls the
+next packet from the mux.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..units import serialization_delay
+from .engine import Simulator
+from .packet import Packet
+from .queues import PriorityMux
+
+
+class Port:
+    """A transmitter + queue attached to one end of a link.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    rate_bps:
+        Link capacity in bits per second.
+    prop_delay:
+        One-way propagation delay in seconds.
+    mux:
+        The priority mux buffering packets awaiting transmission.
+    peer:
+        The device at the other end; must expose ``receive(pkt)``.
+    name:
+        Human-readable identifier for tracing.
+    """
+
+    __slots__ = (
+        "sim", "rate_bps", "prop_delay", "mux", "peer", "name",
+        "busy", "bytes_sent", "pkts_sent", "busy_time", "_tx_start",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        prop_delay: float,
+        mux: PriorityMux,
+        peer=None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.mux = mux
+        self.peer = peer
+        self.name = name
+        self.busy = False
+        self.bytes_sent = 0
+        self.pkts_sent = 0
+        self.busy_time = 0.0
+        self._tx_start = 0.0
+
+    def send(self, pkt: Packet) -> bool:
+        """Enqueue ``pkt`` for transmission.  Returns False if dropped."""
+        pkt.queue_delay -= self.sim.now  # finalized on dequeue
+        if not self.mux.enqueue(pkt):
+            pkt.queue_delay += self.sim.now  # undo; packet is gone anyway
+            return False
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        pkt = self.mux.dequeue()
+        if pkt is None:
+            self.busy = False
+            return
+        pkt.queue_delay += self.sim.now  # time spent waiting in the mux
+        self.busy = True
+        self._tx_start = self.sim.now
+        tx_time = serialization_delay(pkt.size, self.rate_bps)
+        self.sim.schedule(tx_time, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.bytes_sent += pkt.size
+        self.pkts_sent += 1
+        self.busy_time += self.sim.now - self._tx_start
+        if self.peer is not None:
+            self.sim.schedule(self.prop_delay, self.peer.receive, pkt)
+        self._start_next()
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes waiting in the mux (excludes the packet on the wire)."""
+        return self.mux.occupancy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name} rate={self.rate_bps/1e9:.0f}Gbps busy={self.busy}>"

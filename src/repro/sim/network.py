@@ -1,0 +1,224 @@
+"""Network assembly: hosts + switches + links, plus the ideal reverse path.
+
+The :class:`Network` wires devices together, owns the base-delay cache used
+for RTT-derived parameters (BDP, ECN thresholds, pacing), and provides the
+*ideal control path*: acknowledgements, grants and pulls are delivered after
+the base path delay without queueing, a standard datacenter-simulator
+shortcut (see DESIGN.md §2).  Forward data packets always traverse the full
+queued fabric.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..units import ecn_threshold_bytes, serialization_delay
+from .engine import Simulator
+from .host import Host
+from .link import Port
+from .packet import HEADER_BYTES, NUM_PRIORITIES, Packet
+from .queues import PriorityMux
+from .switch import Switch
+
+
+@dataclass
+class QueueConfig:
+    """Recipe for building one port's :class:`PriorityMux`.
+
+    ECN thresholds can be given explicitly per priority, or derived from
+    the paper's Eq. (3) ``K = lambda * C * RTT`` with separate lambdas for
+    the high-priority half (P0-P3, HCP) and the low-priority half (P4-P7,
+    LCP).  Setting everything to None disables marking.
+    """
+
+    buffer_bytes: int
+    ecn_thresholds: Optional[List[Optional[int]]] = None
+    ecn_lambda_high: Optional[float] = None
+    ecn_lambda_low: Optional[float] = None
+    base_rtt: Optional[float] = None
+    ecn_mode: str = "paper"
+    trim: bool = False
+    selective_drop_threshold: Optional[int] = None
+    lp_buffer_cap: Optional[int] = None
+    # DT alpha 8 for the high-priority half, 1 for the lossy low-priority
+    # half (see PriorityMux docstring); None = pure shared tail drop.
+    dt_alpha: object = (8.0, 8.0, 8.0, 8.0, 1.0, 1.0, 1.0, 1.0)
+
+    def build(self, rate_bps: float) -> PriorityMux:
+        thresholds = self.ecn_thresholds
+        if thresholds is None and self.ecn_lambda_high is not None:
+            if self.base_rtt is None:
+                raise ValueError("base_rtt required to derive ECN thresholds")
+            k_high = ecn_threshold_bytes(self.ecn_lambda_high, rate_bps, self.base_rtt)
+            lam_low = (
+                self.ecn_lambda_low
+                if self.ecn_lambda_low is not None
+                else self.ecn_lambda_high
+            )
+            k_low = ecn_threshold_bytes(lam_low, rate_bps, self.base_rtt)
+            thresholds = [k_high] * 4 + [k_low] * 4
+        return PriorityMux(
+            self.buffer_bytes,
+            thresholds,
+            ecn_mode=self.ecn_mode,
+            trim=self.trim,
+            selective_drop_threshold=self.selective_drop_threshold,
+            lp_buffer_cap=self.lp_buffer_cap,
+            dt_alpha=self.dt_alpha,
+        )
+
+
+class Network:
+    """The assembled fabric."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.hosts: Dict[int, Host] = {}
+        self.switches: List[Switch] = []
+        self.ports: List[Port] = []
+        # adjacency: device -> [(peer_device, prop_delay, rate_bps)]
+        self._adj: Dict[object, List[Tuple[object, float, float]]] = {}
+        self._base_delay_cache: Dict[Tuple[int, int], float] = {}
+        # Control-path accounting (bytes that bypassed the queued fabric).
+        self.control_pkts = 0
+
+    # -- construction ----------------------------------------------------
+
+    def add_host(self, host_id: int) -> Host:
+        host = Host(host_id)
+        self.hosts[host_id] = host
+        self._adj.setdefault(host, [])
+        return host
+
+    def add_switch(self, name: str = "") -> Switch:
+        switch = Switch(len(self.switches), name)
+        self.switches.append(switch)
+        self._adj.setdefault(switch, [])
+        return switch
+
+    def _make_port(
+        self, rate_bps: float, prop_delay: float, qcfg: QueueConfig, peer, name: str
+    ) -> Port:
+        port = Port(self.sim, rate_bps, prop_delay, qcfg.build(rate_bps), peer, name)
+        self.ports.append(port)
+        return port
+
+    def connect_host(
+        self,
+        host: Host,
+        switch: Switch,
+        rate_bps: float,
+        prop_delay: float,
+        qcfg: QueueConfig,
+        up_qcfg: Optional[QueueConfig] = None,
+    ) -> Tuple[Port, Port]:
+        """Bidirectional host <-> switch link; returns (up_port, down_port).
+
+        ``qcfg`` builds the switch-side downlink queue; ``up_qcfg`` (the
+        host NIC / qdisc model) defaults to the same config.
+        """
+        up = self._make_port(rate_bps, prop_delay, up_qcfg or qcfg, switch,
+                             f"{host.name}->{switch.name}")
+        down = self._make_port(rate_bps, prop_delay, qcfg, host,
+                               f"{switch.name}->{host.name}")
+        host.uplink = up
+        switch.add_route(host.host_id, down)
+        self._adj[host].append((switch, prop_delay, rate_bps))
+        self._adj[switch].append((host, prop_delay, rate_bps))
+        return up, down
+
+    def connect_switches(
+        self,
+        a: Switch,
+        b: Switch,
+        rate_bps: float,
+        prop_delay: float,
+        qcfg: QueueConfig,
+    ) -> Tuple[Port, Port]:
+        """Bidirectional switch <-> switch link; routes added by the caller."""
+        ab = self._make_port(rate_bps, prop_delay, qcfg, b, f"{a.name}->{b.name}")
+        ba = self._make_port(rate_bps, prop_delay, qcfg, a, f"{b.name}->{a.name}")
+        self._adj[a].append((b, prop_delay, rate_bps))
+        self._adj[b].append((a, prop_delay, rate_bps))
+        return ab, ba
+
+    def set_spray(self, enabled: bool) -> None:
+        """Enable per-packet spraying on every switch (NDP mode)."""
+        for switch in self.switches:
+            switch.spray = enabled
+
+    # -- ideal control path ----------------------------------------------
+
+    def base_delay(self, src_host: int, dst_host: int) -> float:
+        """One-way base delay between two hosts: propagation plus one
+        header serialization per hop, no queueing."""
+        if src_host == dst_host:
+            return 0.0
+        key = (src_host, dst_host)
+        cached = self._base_delay_cache.get(key)
+        if cached is not None:
+            return cached
+        src = self.hosts[src_host]
+        dst = self.hosts[dst_host]
+        # BFS for the minimum-hop path, accumulating delay.
+        best: Dict[object, float] = {src: 0.0}
+        frontier = deque([(src, 0.0, 0)])
+        result = None
+        best_hops: Dict[object, int] = {src: 0}
+        while frontier:
+            node, delay, hops = frontier.popleft()
+            if node is dst:
+                result = delay
+                break
+            for peer, prop, rate in self._adj[node]:
+                d = delay + prop + serialization_delay(HEADER_BYTES, rate)
+                if peer not in best_hops or hops + 1 < best_hops[peer]:
+                    best_hops[peer] = hops + 1
+                    best[peer] = d
+                    frontier.append((peer, d, hops + 1))
+        if result is None:
+            raise KeyError(f"no path from host {src_host} to host {dst_host}")
+        self._base_delay_cache[key] = result
+        return result
+
+    def base_rtt(self, src_host: int, dst_host: int) -> float:
+        """Round-trip base delay between two hosts."""
+        return self.base_delay(src_host, dst_host) + self.base_delay(dst_host, src_host)
+
+    def send_control(self, pkt: Packet) -> None:
+        """Deliver a control packet over the ideal (unqueued) reverse path."""
+        self.control_pkts += 1
+        src = self.hosts[pkt.src]
+        src.ops_sent += 1
+        delay = self.base_delay(pkt.src, pkt.dst)
+        self.sim.schedule(delay, self.hosts[pkt.dst].receive, pkt)
+
+    # -- flow endpoint wiring ---------------------------------------------
+
+    def attach(self, flow_id: int, src_host: int, dst_host: int,
+               sender, receiver) -> None:
+        """Register a sender at ``src_host`` and receiver at ``dst_host``."""
+        self.hosts[src_host].register(flow_id, sender)
+        self.hosts[dst_host].register(flow_id, receiver)
+
+    def detach(self, flow_id: int, src_host: int, dst_host: int) -> None:
+        self.hosts[src_host].unregister(flow_id)
+        self.hosts[dst_host].unregister(flow_id)
+
+    # -- introspection ----------------------------------------------------
+
+    def port_to_host(self, host_id: int) -> Port:
+        """The last-hop switch port feeding ``host_id`` (its downlink)."""
+        for switch in self.switches:
+            for port in switch.table.get(host_id, []):
+                if port.peer is self.hosts[host_id]:
+                    return port
+        raise KeyError(f"no downlink port to host {host_id}")
+
+    def total_drops(self) -> int:
+        return sum(port.mux.stats.dropped for port in self.ports)
+
+    def total_marked(self) -> int:
+        return sum(port.mux.stats.marked for port in self.ports)

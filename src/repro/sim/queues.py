@@ -1,0 +1,259 @@
+"""Switch and NIC output queues.
+
+The paper only needs commodity-switch features (§2.2): strict-priority
+queueing, RED/ECN marking with a single threshold K (Eq. 3), and a shared
+per-port buffer.  Two research features used by baselines are also here:
+
+* **NDP packet trimming** — when the queue is full, cut the payload and
+  enqueue the 64-byte header in the highest-priority queue instead of
+  dropping.
+* **Aeolus selective dropping** — drop *unscheduled* (pre-credit) packets
+  as soon as occupancy exceeds a threshold, so that first-RTT blasts cannot
+  push out scheduled traffic.
+
+A :class:`PriorityMux` owns eight FIFO queues sharing one buffer pool and
+dequeues in strict-priority order.  The attached :class:`~repro.sim.link.Link`
+drains it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from .packet import HEADER, HEADER_BYTES, NUM_PRIORITIES, Packet
+
+
+class QueueStats:
+    """Counters every queue keeps; cheap enough to always collect."""
+
+    __slots__ = (
+        "enqueued", "dequeued", "dropped", "trimmed", "marked",
+        "bytes_enqueued", "bytes_dequeued", "bytes_dropped",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.trimmed = 0
+        self.marked = 0
+        self.bytes_enqueued = 0
+        self.bytes_dequeued = 0
+        self.bytes_dropped = 0
+
+
+class PriorityMux:
+    """Eight strict-priority FIFOs over a shared buffer pool.
+
+    Parameters
+    ----------
+    buffer_bytes:
+        Total buffer shared by all priority queues of this port.
+    ecn_thresholds:
+        Per-priority ECN marking threshold in bytes (None = no marking for
+        that priority).  The paper marks against the *queue's own*
+        occupancy, mirroring per-queue RED with min==max==K.
+    ecn_mode:
+        What occupancy a packet's ECN threshold is compared against:
+
+        * ``"paper"`` (default) — high-priority packets (P0-P3) mark on
+          the *high-priority half's* occupancy, so LP bytes never inflate
+          DCTCP's congestion signal; low-priority packets (P4-P7) mark on
+          the *total* port occupancy, because "all data packets
+          essentially share the switch buffer" (§3.2) and the LCP loop
+          must sense both normal-blocks-opportunistic and
+          opportunistic-impacts-normal situations.
+        * ``"queue"`` — per-queue WRED (each queue marks on its own depth).
+        * ``"total"`` — everything marks on total port occupancy.
+    trim:
+        Enable NDP trimming on overflow.
+    selective_drop_threshold:
+        If set, drop packets with ``unscheduled=True`` whenever total
+        occupancy exceeds this many bytes (Aeolus).
+    lp_buffer_cap:
+        If set, cap the bytes that low-priority (``lcp=True``) packets may
+        occupy (used for the Fig. 24 RC3-variant experiment).
+    dt_alpha:
+        Broadcom-style dynamic-threshold buffer sharing: a packet is
+        dropped when its priority queue already holds more than
+        ``alpha * (buffer - occupancy)`` bytes.  May be a single number
+        or a per-priority sequence; the default scenario configuration
+        uses alpha=8 for the high-priority queues and alpha=1 for the
+        lossy low-priority queues, the common commodity setting — a
+        greedy opportunistic queue then stabilises at half the free pool
+        and can never squeeze out high-priority arrivals.  None = pure
+        shared tail drop.
+    """
+
+    __slots__ = (
+        "buffer_bytes", "ecn_thresholds", "ecn_mode", "trim",
+        "trim_threshold_bytes",
+        "selective_drop_threshold", "lp_buffer_cap", "dt_alphas",
+        "queues", "occupancy", "queue_occupancy", "lp_occupancy",
+        "stats", "drop_hook",
+    )
+
+    def __init__(
+        self,
+        buffer_bytes: int,
+        ecn_thresholds: Optional[List[Optional[int]]] = None,
+        *,
+        ecn_mode: str = "paper",
+        trim: bool = False,
+        selective_drop_threshold: Optional[int] = None,
+        lp_buffer_cap: Optional[int] = None,
+        dt_alpha=None,
+    ) -> None:
+        self.buffer_bytes = buffer_bytes
+        if ecn_thresholds is None:
+            ecn_thresholds = [None] * NUM_PRIORITIES
+        if len(ecn_thresholds) != NUM_PRIORITIES:
+            raise ValueError("ecn_thresholds must have 8 entries")
+        self.ecn_thresholds = list(ecn_thresholds)
+        if ecn_mode not in ("paper", "queue", "total"):
+            raise ValueError(f"unknown ecn_mode: {ecn_mode!r}")
+        self.ecn_mode = ecn_mode
+        self.trim = trim
+        self.selective_drop_threshold = selective_drop_threshold
+        self.lp_buffer_cap = lp_buffer_cap
+        if dt_alpha is None:
+            self.dt_alphas: Optional[List[float]] = None
+        elif isinstance(dt_alpha, (int, float)):
+            self.dt_alphas = [float(dt_alpha)] * NUM_PRIORITIES
+        else:
+            alphas = [float(a) for a in dt_alpha]
+            if len(alphas) != NUM_PRIORITIES:
+                raise ValueError("dt_alpha sequence must have 8 entries")
+            self.dt_alphas = alphas
+        # NDP trims a data packet once its queue exceeds this (None = only
+        # on buffer exhaustion); trimmed headers use the whole buffer,
+        # modelling NDP's separate tiny header queue.
+        self.trim_threshold_bytes: Optional[int] = None
+        self.queues: List[deque] = [deque() for _ in range(NUM_PRIORITIES)]
+        self.occupancy = 0
+        self.queue_occupancy = [0] * NUM_PRIORITIES
+        self.lp_occupancy = 0
+        self.stats = QueueStats()
+        # Optional callback fired with each dropped packet (loss tracing).
+        self.drop_hook: Optional[Callable[[Packet], None]] = None
+
+    # -- enqueue ---------------------------------------------------------
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Admit ``pkt``; returns False when it was dropped.
+
+        Trimmed packets (NDP) count as admitted — the header survives.
+        """
+        stats = self.stats
+        # Aeolus selective dropping of pre-credit packets.
+        if (
+            self.selective_drop_threshold is not None
+            and pkt.unscheduled
+            and self.occupancy > self.selective_drop_threshold
+        ):
+            self._drop(pkt)
+            return False
+
+        # RC3 variant: cap buffer available to the low-priority loop.
+        if self.lp_buffer_cap is not None and pkt.lcp:
+            if self.lp_occupancy + pkt.size > self.lp_buffer_cap:
+                self._drop(pkt)
+                return False
+
+        # NDP trimming: cut the payload as soon as the data queue exceeds
+        # the (small) trim threshold; the surviving header is tiny and
+        # rides the highest priority.
+        if (
+            self.trim
+            and pkt.kind != HEADER
+            and pkt.size > HEADER_BYTES
+            and self.trim_threshold_bytes is not None
+            and self.queue_occupancy[pkt.priority] + pkt.size
+            > self.trim_threshold_bytes
+        ):
+            pkt.trim()
+            stats.trimmed += 1
+
+        over_shared = self.occupancy + pkt.size > self.buffer_bytes
+        over_dt = (
+            pkt.kind != HEADER
+            and self.dt_alphas is not None
+            and self.queue_occupancy[pkt.priority] + pkt.size
+            > self.dt_alphas[pkt.priority] * (self.buffer_bytes - self.occupancy)
+        )
+        if over_shared or over_dt:
+            if self.trim and pkt.kind != HEADER and pkt.size > HEADER_BYTES:
+                # buffer exhausted: last-resort trim
+                pkt.trim()
+                stats.trimmed += 1
+                if self.occupancy + pkt.size > self.buffer_bytes:
+                    self._drop(pkt)
+                    return False
+            else:
+                self._drop(pkt)
+                return False
+
+        # ECN marking on arrival (RED with min == max == K, per Eq. 3).
+        threshold = self.ecn_thresholds[pkt.priority]
+        if threshold is not None and pkt.ecn_capable:
+            if self.ecn_mode == "paper":
+                if pkt.priority < 4:
+                    occupancy = sum(self.queue_occupancy[0:4])
+                else:
+                    occupancy = self.occupancy
+            elif self.ecn_mode == "total":
+                occupancy = self.occupancy
+            else:
+                occupancy = self.queue_occupancy[pkt.priority]
+            if occupancy >= threshold:
+                pkt.ecn_ce = True
+                stats.marked += 1
+
+        self.queues[pkt.priority].append(pkt)
+        self.occupancy += pkt.size
+        self.queue_occupancy[pkt.priority] += pkt.size
+        if pkt.lcp:
+            self.lp_occupancy += pkt.size
+        stats.enqueued += 1
+        stats.bytes_enqueued += pkt.size
+        return True
+
+    def _drop(self, pkt: Packet) -> None:
+        self.stats.dropped += 1
+        self.stats.bytes_dropped += pkt.size
+        if self.drop_hook is not None:
+            self.drop_hook(pkt)
+
+    # -- dequeue ---------------------------------------------------------
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the head of the highest-priority non-empty queue."""
+        if self.occupancy == 0:
+            return None
+        for priority, queue in enumerate(self.queues):
+            if queue:
+                pkt = queue.popleft()
+                self.occupancy -= pkt.size
+                self.queue_occupancy[priority] -= pkt.size
+                if pkt.lcp:
+                    self.lp_occupancy -= pkt.size
+                self.stats.dequeued += 1
+                self.stats.bytes_dequeued += pkt.size
+                return pkt
+        return None
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    @property
+    def empty(self) -> bool:
+        return self.occupancy == 0
+
+    def occupancy_split(self) -> Dict[str, int]:
+        """Bytes held by the high-priority (P0-3) vs low-priority (P4-7) half."""
+        high = sum(self.queue_occupancy[0:4])
+        low = sum(self.queue_occupancy[4:8])
+        return {"high": high, "low": low}

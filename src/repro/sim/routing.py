@@ -1,0 +1,46 @@
+"""Routing helpers: deterministic per-flow ECMP and per-packet spraying.
+
+Commodity switches hash the 5-tuple to pick among equal-cost uplinks.  We
+model the 5-tuple with the flow id and mix in the switch id so different
+switches make independent choices, exactly like independent ASIC hash seeds.
+
+NDP instead sprays packets across all equal-cost paths packet-by-packet; a
+per-switch round-robin counter reproduces that.
+"""
+
+from __future__ import annotations
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def ecmp_hash(flow_id: int, switch_id: int, n_choices: int) -> int:
+    """Deterministic ECMP choice for ``flow_id`` at ``switch_id``.
+
+    A 64-bit Fibonacci/SplitMix-style mixer: cheap, stateless, and
+    well-distributed for sequential flow ids (which is what the workload
+    generator produces).
+    """
+    if n_choices <= 1:
+        return 0
+    x = (flow_id * _GOLDEN + switch_id * 0xBF58476D1CE4E5B9) & _MASK
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & _MASK
+    x ^= x >> 29
+    return x % n_choices
+
+
+class SprayCounter:
+    """Per-switch round-robin counter for NDP-style packet spraying."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def next(self, n_choices: int) -> int:
+        if n_choices <= 1:
+            return 0
+        choice = self._value % n_choices
+        self._value += 1
+        return choice

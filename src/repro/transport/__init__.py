@@ -1,0 +1,27 @@
+"""Transport schemes: the paper's baselines and the window machinery."""
+
+from .aeolus import Aeolus
+from .base import Flow, Scheme, TransportConfig, TransportContext
+from .d2tcp import D2tcp
+from .dcqcn import Dcqcn
+from .dctcp import Dctcp, DctcpSender
+from .expresspass import ExpressPass
+from .halfback import Halfback
+from .homa import Homa, HomaSender
+from .hpcc import Hpcc, HpccSender
+from .ndp import Ndp, NdpSender
+from .pias import Pias, PiasSender
+from .rc3 import Rc3, Rc3Sender
+from .swift import Swift, SwiftSender
+from .tcp10 import Tcp10
+from .timely import Timely
+from .window import WindowReceiver, WindowSender
+
+__all__ = [
+    "Flow", "Scheme", "TransportConfig", "TransportContext",
+    "Dctcp", "DctcpSender", "Pias", "PiasSender", "Rc3", "Rc3Sender",
+    "Swift", "SwiftSender", "Hpcc", "HpccSender",
+    "Homa", "HomaSender", "Aeolus", "Ndp", "NdpSender",
+    "Tcp10", "Halfback", "ExpressPass", "Timely", "D2tcp", "Dcqcn",
+    "WindowSender", "WindowReceiver",
+]

@@ -1,0 +1,133 @@
+"""Transport framework: flows, per-flow endpoints and scheme factories.
+
+A *scheme* (DCTCP, PPT, Homa, ...) is a factory that, given a
+:class:`Flow` and a :class:`TransportContext`, produces a sender endpoint
+living at the flow's source host and a receiver endpoint at the
+destination host.  Endpoints expose a single ``on_packet`` entry point;
+everything else (timers, pacing) is scheduled against the simulator.
+
+Flow completion is detected at the *receiver* (all unique payload packets
+delivered) and reported through ``TransportContext.on_complete`` — the
+quantity every FCT figure in the paper measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from ..sim.packet import HEADER_BYTES, Packet
+
+
+@dataclass
+class Flow:
+    """One application message/flow.
+
+    ``size`` is application payload bytes.  FCT = ``finish_time -
+    start_time`` once the receiver has every payload byte.
+    """
+
+    flow_id: int
+    src: int
+    dst: int
+    size: int
+    start_time: float
+    finish_time: Optional[float] = None
+    # Filled by the sender model: bytes the application's *first* send()
+    # syscall injected into the send buffer (buffer-aware identification).
+    first_syscall_bytes: Optional[int] = None
+    # Optional absolute completion deadline (used by deadline-aware
+    # transports such as D2TCP); None = no deadline.
+    deadline: Optional[float] = None
+
+    @property
+    def fct(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    def n_packets(self, mss: int) -> int:
+        payload = mss - HEADER_BYTES
+        return max(1, math.ceil(self.size / payload))
+
+
+@dataclass
+class TransportConfig:
+    """Knobs shared by every scheme.
+
+    ``mss`` is the wire size of a full data packet (header included);
+    payload per packet is ``mss - HEADER_BYTES``.
+    """
+
+    mss: int = 1500
+    init_cwnd: int = 10            # packets; Linux default (TCP-10 [12])
+    min_rto: float = 2e-3          # seconds; testbed uses 10ms (Table 3)
+    dctcp_g: float = 1.0 / 16.0    # alpha EWMA gain (DCTCP paper default)
+    max_cwnd_packets: int = 10_000
+    # TCP send buffer capacity (buffer-aware identification, §4.1 / Fig 27).
+    send_buffer_bytes: int = 2_000_000_000
+    # Large-flow identification threshold (Table 3: 100KB in the testbed).
+    identification_threshold: int = 100_000
+    # PIAS-style demotion thresholds (bytes sent) for priorities 0->1->2->3.
+    demotion_thresholds: tuple = (100_000, 1_000_000, 10_000_000)
+
+    def payload_per_packet(self) -> int:
+        return self.mss - HEADER_BYTES
+
+
+class TransportContext:
+    """Everything endpoints need: the engine, the fabric and bookkeeping."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: TransportConfig,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self._on_complete = on_complete
+        self.completed: List[Flow] = []
+        # Registry so PPT senders can consult per-host shared state
+        # (e.g. the send-buffer model) if needed.
+        self.extra: Dict[str, object] = {}
+
+    def on_complete(self, flow: Flow) -> None:
+        flow.finish_time = self.sim.now
+        self.completed.append(flow)
+        if self._on_complete is not None:
+            self._on_complete(flow)
+
+    def base_rtt(self, flow: Flow) -> float:
+        return self.network.base_rtt(flow.src, flow.dst)
+
+    def bdp_packets(self, flow: Flow) -> int:
+        """BDP of the flow's path bottleneck (edge link) in MSS packets."""
+        rate = self.network.hosts[flow.src].uplink.rate_bps
+        bdp_bytes = rate * self.base_rtt(flow) / 8.0
+        return max(1, int(bdp_bytes // self.config.mss))
+
+
+class Scheme:
+    """Base class for transport scheme factories."""
+
+    name: str = "base"
+
+    def start_flow(self, flow: Flow, ctx: TransportContext) -> None:
+        """Create endpoints, register them with the fabric, start sending."""
+        raise NotImplementedError
+
+    def configure_network(self, network: Network) -> None:
+        """Hook for schemes needing fabric features (spray, trim, ...)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scheme {self.name}>"

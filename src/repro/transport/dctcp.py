@@ -1,0 +1,118 @@
+"""DCTCP [Alizadeh et al., SIGCOMM 2010] — the paper's HCP and main baseline.
+
+The sender maintains ``alpha``, an EWMA of the fraction of ECN-marked
+ACKs per window of data (Eq. 1 in the PPT paper)::
+
+    alpha <- (1 - g) * alpha + g * F
+
+and on windows containing at least one mark cuts ``cwnd`` by
+``alpha / 2``.  Growth between cuts is standard slow start / congestion
+avoidance.  The sender exposes the two quantities PPT's LCP consumes:
+
+* ``alpha`` and its running minimum over recent windows (Eq. 2 trigger),
+* ``wmax`` — the maximum congestion window experienced, restricted to
+  post-startup windows per the paper's footnote 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from .base import Flow, Scheme, TransportContext
+from .window import WindowReceiver, WindowSender
+
+# Number of recent per-window alpha values over which PPT computes its
+# running minimum (the paper says "the past RTTs"; a short sliding window
+# keeps the trigger responsive).
+ALPHA_HISTORY = 16
+
+
+class DctcpSender(WindowSender):
+    """Window sender running the DCTCP congestion-control algorithm."""
+
+    def __init__(self, flow: Flow, ctx: TransportContext) -> None:
+        super().__init__(flow, ctx)
+        self.alpha = 1.0          # Linux dctcp initialises alpha to 1
+        self.g = ctx.config.dctcp_g
+        self.startup_done = False  # True after the first window cut / loss
+        self.wmax: float = 0.0     # max cwnd, post-startup only (footnote 3)
+        self.alpha_history: deque = deque(maxlen=ALPHA_HISTORY)
+        # per-window mark accounting
+        self._win_acks = 0
+        self._win_ce = 0
+        self._win_end = self.cfg.init_cwnd
+        self._last_alpha_update = 0.0
+        # PPT hooks in
+        self.on_window_update: Optional[Callable[["DctcpSender"], None]] = None
+
+    # -- congestion control -------------------------------------------------
+
+    def cc_on_ack(self, ce: bool, rtt: float) -> None:
+        self._win_acks += 1
+        if ce:
+            self._win_ce += 1
+        # growth: slow start until first mark/loss, then +1/cwnd per ACK
+        if self.cwnd < self.ssthresh and not self.startup_done:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)
+        self._cap_cwnd()
+        if self.startup_done and self.cwnd > self.wmax:
+            self.wmax = self.cwnd
+
+        window_elapsed = self.cum >= self._win_end
+        time_elapsed = self.sim.now - self._last_alpha_update > self.srtt
+        if window_elapsed or (time_elapsed and self._win_acks > 0):
+            self._end_of_window()
+
+    def _end_of_window(self) -> None:
+        fraction = self._win_ce / max(1, self._win_acks)
+        self.alpha = (1.0 - self.g) * self.alpha + self.g * fraction
+        self.alpha_history.append(self.alpha)
+        if self._win_ce > 0:
+            if not self.startup_done:
+                self.startup_done = True
+                self.ssthresh = max(self.cwnd, 2.0)
+                self.wmax = max(self.wmax, self.cwnd)
+            self.cwnd = max(1.0, self.cwnd * (1.0 - self.alpha / 2.0))
+        self._win_acks = 0
+        self._win_ce = 0
+        self._win_end = max(self.send_ptr, self.cum + 1)
+        self._last_alpha_update = self.sim.now
+        if self.on_window_update is not None:
+            self.on_window_update(self)
+
+    def cc_on_fast_rtx(self) -> None:
+        self.startup_done = True
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+
+    def cc_on_rto(self) -> None:
+        self.startup_done = True
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+
+    # -- PPT-facing state ----------------------------------------------------
+
+    @property
+    def alpha_min(self) -> float:
+        """Minimum alpha over the recent windows (Eq. 2's alpha_min)."""
+        if not self.alpha_history:
+            return self.alpha
+        return min(self.alpha_history)
+
+
+class Dctcp(Scheme):
+    """Plain DCTCP: single loop, single priority (P0)."""
+
+    name = "dctcp"
+
+    sender_cls = DctcpSender
+    receiver_cls = WindowReceiver
+
+    def start_flow(self, flow: Flow, ctx: TransportContext) -> None:
+        sender = self.sender_cls(flow, ctx)
+        receiver = self.receiver_cls(flow, ctx)
+        ctx.network.attach(flow.flow_id, flow.src, flow.dst, sender, receiver)
+        sender.start()

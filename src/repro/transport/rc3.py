@@ -1,0 +1,139 @@
+"""RC3 [Mittal et al., NSDI 2014] — recursively cautious congestion control.
+
+RC3 runs a primary TCP loop (here DCTCP, as the PPT paper configures for
+a fair DCN comparison) plus a low-priority loop that transmits from the
+*tail* of the flow.  The LP loop is deliberately aggressive — the PPT
+paper's critique: it "fills up the entire BDP for every RTT" and "makes
+no effort to protect the HCP loop":
+
+* every RTT the LP loop bursts enough low-priority packets to fill the
+  BDP left over by the primary loop, at line rate, until the two loops'
+  pointers cross;
+* LP packets are assigned RC3's recursive priority levels — the last 40
+  packets of the flow at the highest LP priority, the next 400 one level
+  lower, the rest at the lowest — mirroring RC3's exponential levels;
+* LP packets are *not* ECN-capable and the LP loop never slows down on
+  congestion; lost LP packets are never retransmitted by the LP loop
+  (the primary loop eventually covers the hole).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.packet import ACK, DATA, Packet
+from .base import Flow, Scheme, TransportContext
+from .dctcp import Dctcp, DctcpSender
+from .window import WindowReceiver
+
+# RC3's recursive priority-level sizes, in packets, counted from the tail.
+LEVEL_SIZES = (40, 400)          # beyond these, everything at the last level
+LEVEL_PRIORITIES = (5, 6, 7)     # P5, P6, then P7 for the remainder
+
+
+def rc3_priority(packets_from_tail: int) -> int:
+    """Priority for the LP packet ``packets_from_tail`` before flow end."""
+    boundary = 0
+    for size, priority in zip(LEVEL_SIZES, LEVEL_PRIORITIES):
+        boundary += size
+        if packets_from_tail < boundary:
+            return priority
+    return LEVEL_PRIORITIES[-1]
+
+
+class Rc3Sender(DctcpSender):
+    """DCTCP primary loop + RC3's aggressive low-priority filler loop."""
+
+    LP_STALE_RTTS = 2.0  # purge un-ACKed LP packets after this many RTTs
+
+    def __init__(self, flow: Flow, ctx: TransportContext) -> None:
+        super().__init__(flow, ctx)
+        self.lp_outstanding: Dict[int, float] = {}  # seq -> send time
+        self.lp_sent = 0
+        self.lp_crossed = False
+        self.bdp = ctx.bdp_packets(flow)
+        self._lp_timer = None
+        # RC3's LP loop attempts every packet exactly once: a strictly
+        # descending pointer.  Lost LP packets are *never* retried by the
+        # LP loop — the primary loop covers the holes at DCTCP pace.
+        self._lp_ptr = self.n_packets - 1
+
+    def start(self) -> None:
+        super().start()
+        self._lp_round()
+
+    def stop(self) -> None:
+        super().stop()
+        if self._lp_timer is not None:
+            self._lp_timer.cancel()
+            self._lp_timer = None
+
+    # -- LP loop ------------------------------------------------------------
+
+    def _lp_round(self) -> None:
+        """Once per RTT: burst LP packets to fill the BDP (RC3's behaviour)."""
+        if self.finished or self.lp_crossed:
+            return
+        # purge stale LP inflight entries (losses are never retransmitted)
+        horizon = self.sim.now - self.LP_STALE_RTTS * self.srtt
+        stale = [s for s, t in self.lp_outstanding.items() if t < horizon]
+        for s in stale:
+            del self.lp_outstanding[s]
+
+        budget = self.bdp - len(self.outstanding) - len(self.lp_outstanding)
+        sent = 0
+        end = self.buffer_end() - 1
+        if self._lp_ptr > end:
+            self._lp_ptr = end
+        while sent < budget and self._lp_ptr >= 0:
+            seq = self._lp_ptr
+            if seq <= self.send_ptr:
+                # LP pointer met the primary loop: RC3 closes the LP loop.
+                self.lp_crossed = True
+                break
+            self._lp_ptr -= 1
+            if (seq not in self.delivered and seq not in self.outstanding
+                    and seq not in self.lp_outstanding):
+                self._lp_transmit(seq)
+                sent += 1
+        if not self.finished and not self.lp_crossed:
+            self._lp_timer = self.sim.schedule(max(self.srtt, self.base_rtt),
+                                               self._lp_round)
+
+    def _lp_transmit(self, seq: int) -> None:
+        pkt = self.build_packet(seq)
+        pkt.lcp = True
+        pkt.ecn_capable = False
+        pkt.priority = rc3_priority(self.n_packets - 1 - seq)
+        pkt.sent_at = self.sim.now
+        self.lp_outstanding[seq] = self.sim.now
+        self.lp_sent += 1
+        self.pkts_transmitted += 1
+        self.host.send(pkt)
+
+    # -- ACK handling ----------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind != ACK or self.finished:
+            return
+        if pkt.lcp:
+            # LP ACK: record delivery only; no congestion-control input.
+            self.delivered.add(pkt.seq)
+            self.lp_outstanding.pop(pkt.seq, None)
+            if pkt.ack_seq > self.cum:
+                for s in range(self.cum, pkt.ack_seq):
+                    self.delivered.add(s)
+                    self.outstanding.pop(s, None)
+                self.cum = pkt.ack_seq
+            if len(self.delivered) >= self.n_packets:
+                self.stop()
+                return
+            self.try_send()
+            return
+        self.handle_ack(pkt)
+
+
+class Rc3(Dctcp):
+    name = "rc3"
+    sender_cls = Rc3Sender
+    receiver_cls = WindowReceiver

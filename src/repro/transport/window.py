@@ -1,0 +1,314 @@
+"""Reliable window-based transport machinery (the TCP-shaped core).
+
+Every TCP-style scheme in the paper — DCTCP, PIAS, RC3's primary loop,
+PPT's HCP, Swift, HPCC — is a window transport: a congestion window in
+MSS-sized packets, per-packet ACKs carrying cumulative + selective
+information, duplicate-ACK fast retransmit, and a minimum-RTO timer.
+:class:`WindowSender` / :class:`WindowReceiver` implement that machinery
+once; congestion control is three overridable hooks:
+
+* ``cc_on_ack(ce, rtt)``   — called for every new ACK,
+* ``cc_on_fast_rtx()``     — called when dup-ACKs trigger a retransmit,
+* ``cc_on_rto()``          — called when the retransmission timer fires.
+
+The default hooks implement NewReno-style slow start / congestion
+avoidance, which concrete schemes refine.
+
+Sequence numbers are *packet indices* (0-based); ``ack_seq`` on an ACK is
+the next expected index (all indices below it are delivered), and the
+ACK's own ``seq`` selectively acknowledges that one packet — a compact
+SACK that is exact at packet granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set
+
+from ..sim.engine import Event
+from ..sim.packet import ACK, DATA, Packet, make_ack
+from .base import Flow, TransportConfig, TransportContext
+
+
+class WindowReceiver:
+    """Counts unique payload packets; one ACK per data packet."""
+
+    __slots__ = ("flow", "ctx", "n_packets", "delivered", "cum",
+                 "_done", "data_pkts_received", "dup_pkts_received",
+                 "lp_pkts_received")
+
+    def __init__(self, flow: Flow, ctx: TransportContext) -> None:
+        self.flow = flow
+        self.ctx = ctx
+        self.n_packets = flow.n_packets(ctx.config.mss)
+        self.delivered: Set[int] = set()
+        self.cum = 0               # next expected in-order packet index
+        self._done = False
+        self.data_pkts_received = 0
+        self.dup_pkts_received = 0
+        self.lp_pkts_received = 0  # low-priority-loop arrivals (RC3 etc.)
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind != DATA:
+            return
+        self.data_pkts_received += 1
+        if pkt.lcp:
+            self.lp_pkts_received += 1
+        if pkt.seq in self.delivered:
+            self.dup_pkts_received += 1
+        else:
+            self.delivered.add(pkt.seq)
+            while self.cum in self.delivered:
+                self.cum += 1
+        self.acknowledge(pkt)
+        if not self._done and len(self.delivered) >= self.n_packets:
+            self._done = True
+            self.ctx.on_complete(self.flow)
+
+    def acknowledge(self, pkt: Packet) -> None:
+        """Send an ACK for ``pkt``.  Overridable (PPT's 2:1 LP-ACKs)."""
+        ack = make_ack(pkt, ack_seq=self.cum)
+        self.ctx.network.send_control(ack)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+
+class WindowSender:
+    """Window-based reliable sender with SACK, fast retransmit and RTO."""
+
+    def __init__(self, flow: Flow, ctx: TransportContext) -> None:
+        self.flow = flow
+        self.ctx = ctx
+        self.cfg: TransportConfig = ctx.config
+        self.sim = ctx.sim
+        self.host = ctx.network.hosts[flow.src]
+        self.n_packets = flow.n_packets(self.cfg.mss)
+        self.base_rtt = ctx.base_rtt(flow)
+
+        # congestion state
+        self.cwnd: float = float(self.cfg.init_cwnd)
+        self.ssthresh: float = float("inf")
+        self.max_cwnd_seen: float = self.cwnd  # W_max for PPT (Eq. 2)
+
+        # reliability state: outstanding maps seq -> last send time, so
+        # SACK-style recovery can tell a *lost* packet (sent long ago,
+        # still unacknowledged) from one merely in flight
+        self.outstanding: Dict[int, float] = {}
+        self.delivered: Set[int] = set()
+        self.cum = 0
+        self.send_ptr = 0
+        self.dup_acks = 0
+        self.finished = False
+
+        # measurements
+        self.srtt: float = self.base_rtt
+        self.pkts_transmitted = 0
+        self.pkts_retransmitted = 0
+        self.acks_received = 0
+
+        # timers
+        self._rto_event: Optional[Event] = None
+        self._last_fast_rtx: float = -1.0
+
+        # send-buffer model: only bytes the application has already copied
+        # into the kernel send buffer are transmittable (§4.1).  The app
+        # refills instantly as data drains, so the window of *available*
+        # packet indices is [cum, cum + buffer_packets).
+        payload = self.cfg.payload_per_packet()
+        self.buffer_packets = max(1, self.cfg.send_buffer_bytes // payload)
+        if flow.first_syscall_bytes is None:
+            flow.first_syscall_bytes = min(flow.size, self.cfg.send_buffer_bytes)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        self.try_send()
+
+    def stop(self) -> None:
+        self.finished = True
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    # -- sending ----------------------------------------------------------
+
+    def buffer_end(self) -> int:
+        """One past the highest packet index currently in the send buffer."""
+        return min(self.n_packets, self.cum + self.buffer_packets)
+
+    def _next_new_seq(self) -> Optional[int]:
+        end = self.buffer_end()
+        ptr = self.send_ptr
+        delivered = self.delivered
+        outstanding = self.outstanding
+        while ptr < end and (ptr in delivered or ptr in outstanding or
+                             self.claimed_elsewhere(ptr)):
+            ptr += 1
+        self.send_ptr = ptr
+        return ptr if ptr < end else None
+
+    def claimed_elsewhere(self, seq: int) -> bool:
+        """Hook: True when another loop (LCP) already has ``seq`` in flight."""
+        return False
+
+    def try_send(self) -> None:
+        """Transmit while the window allows and data remains."""
+        while not self.finished and len(self.outstanding) < self.cwnd:
+            seq = self._next_new_seq()
+            if seq is None:
+                break
+            self.transmit(seq)
+
+    def transmit(self, seq: int, retransmit: bool = False) -> None:
+        pkt = self.build_packet(seq)
+        pkt.retransmit = retransmit
+        pkt.sent_at = self.sim.now
+        self.outstanding[seq] = self.sim.now
+        self.pkts_transmitted += 1
+        if retransmit:
+            self.pkts_retransmitted += 1
+        self.host.send(pkt)
+        self._arm_rto()
+
+    def build_packet(self, seq: int) -> Packet:
+        payload = self.cfg.payload_per_packet()
+        remaining = self.flow.size - seq * payload
+        size = min(self.cfg.mss, max(1, remaining) + (self.cfg.mss - payload))
+        pkt = Packet(
+            flow_id=self.flow.flow_id,
+            src=self.flow.src,
+            dst=self.flow.dst,
+            seq=seq,
+            size=size,
+            kind=DATA,
+            priority=self.priority_for(seq),
+            ecn_capable=self.ecn_capable(),
+        )
+        return pkt
+
+    # -- scheme hooks -------------------------------------------------------
+
+    def priority_for(self, seq: int) -> int:
+        """Strict-priority class for packet ``seq``; default P0."""
+        return 0
+
+    def ecn_capable(self) -> bool:
+        return True
+
+    def cc_on_ack(self, ce: bool, rtt: float) -> None:
+        """NewReno default: slow start then +1/cwnd per ACK."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)
+        self._cap_cwnd()
+
+    def cc_on_fast_rtx(self) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self._cap_cwnd()
+
+    def cc_on_rto(self) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+
+    def _cap_cwnd(self) -> None:
+        if self.cwnd > self.cfg.max_cwnd_packets:
+            self.cwnd = float(self.cfg.max_cwnd_packets)
+        if self.cwnd > self.max_cwnd_seen:
+            self.max_cwnd_seen = self.cwnd
+
+    # -- receiving ACKs -------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind != ACK or self.finished:
+            return
+        self.handle_ack(pkt)
+
+    def handle_ack(self, pkt: Packet) -> None:
+        self.acks_received += 1
+        seq = pkt.seq
+        newly = seq not in self.delivered
+        self.delivered.add(seq)
+        self.outstanding.pop(seq, None)
+
+        rtt = self.sim.now - pkt.sent_at
+        if rtt > 0:
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+
+        new_cum = pkt.ack_seq
+        if new_cum > self.cum:
+            for s in range(self.cum, new_cum):
+                self.delivered.add(s)
+                self.outstanding.pop(s, None)
+            self.cum = new_cum
+            self.dup_acks = 0
+        elif seq > self.cum:
+            self.dup_acks += 1
+            if self.dup_acks >= 3:
+                self._fast_retransmit()
+
+        if newly:
+            self.cc_on_ack(pkt.ecn_ce, rtt)
+
+        if len(self.delivered) >= self.n_packets:
+            self.stop()
+            return
+        self._arm_rto()
+        self.try_send()
+
+    MAX_RTX_PER_ACK = 8
+
+    def _fast_retransmit(self) -> None:
+        """SACK-style loss recovery: a packet still outstanding one
+        smoothed RTT after it was sent, with later packets selectively
+        acknowledged, is presumed lost and retransmitted.  The window is
+        cut at most once per RTT (one congestion event per window)."""
+        now = self.sim.now
+        stale = now - max(self.srtt, self.base_rtt)
+        holes = [s for s, t in self.outstanding.items()
+                 if t <= stale and s < self.n_packets]
+        if not holes:
+            return
+        if now - self._last_fast_rtx >= self.srtt:
+            self._last_fast_rtx = now
+            self.cc_on_fast_rtx()
+        self.dup_acks = 0
+        holes.sort()
+        for seq in holes[: self.MAX_RTX_PER_ACK]:
+            self.transmit(seq, retransmit=True)
+
+    # -- retransmission timeout -----------------------------------------------
+
+    def rto_interval(self) -> float:
+        return max(self.cfg.min_rto, 2.0 * self.srtt)
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        if self.finished:
+            return
+        self._rto_event = self.sim.schedule(self.rto_interval(), self._on_rto)
+
+    def _on_rto(self) -> None:
+        if self.finished:
+            return
+        self.host.ops_sent += 1  # timer work counts as datapath ops
+        # Everything in flight is presumed lost.
+        self.outstanding.clear()
+        self.send_ptr = self.cum
+        self.cc_on_rto()
+        self._rto_event = None
+        self.try_send()
+        if not self.outstanding:
+            # nothing sendable (e.g. all delivered via SACK); re-arm anyway
+            self._arm_rto()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def bytes_delivered(self) -> int:
+        payload = self.cfg.payload_per_packet()
+        return min(self.flow.size, len(self.delivered) * payload)

@@ -1,0 +1,27 @@
+"""Workloads: flow-size distributions, traffic patterns, Poisson arrivals."""
+
+from .distributions import (
+    DATA_MINING,
+    MEMCACHED_ETC,
+    MEMCACHED_W1,
+    WEB_SEARCH,
+    WORKLOADS,
+    YOUTUBE_HTTP,
+    EmpiricalCdf,
+    sample_sizes,
+)
+from .generator import poisson_flows
+from .tracefile import (
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_scenario_flows,
+)
+from .patterns import all_to_all, fixed_pairs, incast, permutation
+
+__all__ = [
+    "EmpiricalCdf", "WEB_SEARCH", "DATA_MINING", "MEMCACHED_W1",
+    "MEMCACHED_ETC", "YOUTUBE_HTTP", "WORKLOADS", "sample_sizes",
+    "poisson_flows", "all_to_all", "incast", "fixed_pairs", "permutation",
+    "load_trace", "save_trace", "trace_scenario_flows", "TraceFormatError",
+]

@@ -1,0 +1,71 @@
+"""Traffic patterns: who talks to whom.
+
+A pattern is a callable ``(rng) -> (src, dst)`` drawing one
+source/destination pair per flow.  The paper uses:
+
+* **all-to-all** — §6.2 large-scale simulations and the 15-to-15 testbed
+  pattern (every host both sends and receives),
+* **N-to-1 incast** — the 14-to-1 testbed pattern (§6.1.2) and the
+  Fig. 23 incast sweep (N = 32..256 senders to one receiver),
+* **two-to-one** — the Fig. 1/20/28/29 microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+PairSampler = Callable[[random.Random], Tuple[int, int]]
+
+
+def all_to_all(hosts: Sequence[int]) -> PairSampler:
+    """Uniform random (src, dst) pairs with src != dst."""
+    hosts = list(hosts)
+    if len(hosts) < 2:
+        raise ValueError("all_to_all needs at least two hosts")
+
+    def sample(rng: random.Random) -> Tuple[int, int]:
+        src = rng.choice(hosts)
+        dst = rng.choice(hosts)
+        while dst == src:
+            dst = rng.choice(hosts)
+        return src, dst
+
+    return sample
+
+
+def incast(senders: Sequence[int], receiver: int) -> PairSampler:
+    """Random sender from ``senders``, fixed ``receiver``."""
+    senders = [h for h in senders if h != receiver]
+    if not senders:
+        raise ValueError("incast needs at least one sender != receiver")
+
+    def sample(rng: random.Random) -> Tuple[int, int]:
+        return rng.choice(senders), receiver
+
+    return sample
+
+
+def fixed_pairs(pairs: Sequence[Tuple[int, int]]) -> PairSampler:
+    """Draw uniformly from an explicit pair list (e.g. permutations)."""
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("fixed_pairs needs at least one pair")
+
+    def sample(rng: random.Random) -> Tuple[int, int]:
+        return pairs[rng.randrange(len(pairs))]
+
+    return sample
+
+
+def permutation(hosts: Sequence[int], seed: int = 0) -> PairSampler:
+    """A fixed random permutation: host i always sends to perm(i)."""
+    hosts = list(hosts)
+    rng = random.Random(seed)
+    shuffled = hosts[:]
+    # derangement-ish: reshuffle until no fixed points (bounded retries)
+    for _ in range(100):
+        rng.shuffle(shuffled)
+        if all(a != b for a, b in zip(hosts, shuffled)):
+            break
+    return fixed_pairs(list(zip(hosts, shuffled)))

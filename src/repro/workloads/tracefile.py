@@ -1,0 +1,142 @@
+"""Trace-file workloads: replay flows recorded outside the generator.
+
+Production evaluations often replay measured traces rather than
+synthetic Poisson arrivals.  This module reads and writes a simple
+line-oriented format so users can bring their own traces:
+
+* **CSV** — header ``flow_id,src,dst,size,start_time`` (extra columns
+  ignored), or headerless with exactly those five columns;
+* **JSONL** — one JSON object per line with the same keys
+  (``flow_id`` optional: line number is used when absent).
+
+``load_trace`` returns :class:`~repro.transport.base.Flow` objects ready
+for a :class:`~repro.experiments.runner.Scenario`, and ``save_trace``
+round-trips whatever a generator produced — useful for freezing a
+Poisson draw into an artefact.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..transport.base import Flow
+
+REQUIRED_FIELDS = ("src", "dst", "size", "start_time")
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+def _flow_from_record(record: dict, default_id: int) -> Flow:
+    missing = [f for f in REQUIRED_FIELDS if f not in record]
+    if missing:
+        raise TraceFormatError(f"record missing fields {missing}: {record}")
+    try:
+        return Flow(
+            flow_id=int(record.get("flow_id", default_id)),
+            src=int(record["src"]),
+            dst=int(record["dst"]),
+            size=int(record["size"]),
+            start_time=float(record["start_time"]),
+        )
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(f"bad record {record}: {exc}") from exc
+
+
+def _validate(flows: List[Flow]) -> List[Flow]:
+    seen = set()
+    for flow in flows:
+        if flow.size <= 0:
+            raise TraceFormatError(f"flow {flow.flow_id}: size must be > 0")
+        if flow.start_time < 0:
+            raise TraceFormatError(
+                f"flow {flow.flow_id}: negative start time")
+        if flow.src == flow.dst:
+            raise TraceFormatError(
+                f"flow {flow.flow_id}: src == dst == {flow.src}")
+        if flow.flow_id in seen:
+            raise TraceFormatError(f"duplicate flow id {flow.flow_id}")
+        seen.add(flow.flow_id)
+    flows.sort(key=lambda f: (f.start_time, f.flow_id))
+    return flows
+
+
+def load_trace(path: Union[str, Path]) -> List[Flow]:
+    """Load a CSV or JSONL trace (dispatch on the file extension)."""
+    path = Path(path)
+    if path.suffix.lower() in (".jsonl", ".ndjson", ".json"):
+        return load_jsonl(path)
+    return load_csv(path)
+
+
+def load_csv(path: Union[str, Path]) -> List[Flow]:
+    flows: List[Flow] = []
+    with open(path, newline="") as handle:
+        sample = handle.read(256)
+        handle.seek(0)
+        has_header = any(field in sample.split("\n")[0]
+                         for field in REQUIRED_FIELDS)
+        if has_header:
+            reader = csv.DictReader(handle)
+            for i, record in enumerate(reader):
+                flows.append(_flow_from_record(record, i))
+        else:
+            reader = csv.reader(handle)
+            for i, row in enumerate(reader):
+                if not row:
+                    continue
+                if len(row) != 5:
+                    raise TraceFormatError(
+                        f"line {i + 1}: expected 5 columns, got {len(row)}")
+                record = dict(zip(("flow_id",) + REQUIRED_FIELDS, row))
+                flows.append(_flow_from_record(record, i))
+    return _validate(flows)
+
+
+def load_jsonl(path: Union[str, Path]) -> List[Flow]:
+    flows: List[Flow] = []
+    with open(path) as handle:
+        for i, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"line {i + 1}: {exc}") from exc
+            flows.append(_flow_from_record(record, i))
+    return _validate(flows)
+
+
+def save_trace(flows: Iterable[Flow], path: Union[str, Path]) -> None:
+    """Save flows as CSV (with header) or JSONL, by extension."""
+    path = Path(path)
+    flows = list(flows)
+    if path.suffix.lower() in (".jsonl", ".ndjson"):
+        with open(path, "w") as handle:
+            for flow in flows:
+                handle.write(json.dumps({
+                    "flow_id": flow.flow_id, "src": flow.src,
+                    "dst": flow.dst, "size": flow.size,
+                    "start_time": flow.start_time}) + "\n")
+        return
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("flow_id",) + REQUIRED_FIELDS)
+        for flow in flows:
+            writer.writerow((flow.flow_id, flow.src, flow.dst, flow.size,
+                             flow.start_time))
+
+
+def trace_scenario_flows(path: Union[str, Path], n_hosts: int) -> List[Flow]:
+    """Load a trace and check every endpoint exists on an n-host fabric."""
+    flows = load_trace(path)
+    for flow in flows:
+        if not (0 <= flow.src < n_hosts and 0 <= flow.dst < n_hosts):
+            raise TraceFormatError(
+                f"flow {flow.flow_id}: endpoint outside [0, {n_hosts})")
+    return flows

@@ -1,0 +1,71 @@
+"""Tests for the transport framework primitives (Flow, config, context)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_ctx, make_star
+from repro.sim.packet import HEADER_BYTES
+from repro.transport.base import Flow, Scheme, TransportConfig, TransportContext
+
+
+def test_flow_fct_none_until_finished():
+    flow = Flow(0, 0, 1, 1000, start_time=1.0)
+    assert flow.fct is None
+    assert not flow.completed
+    flow.finish_time = 1.5
+    assert flow.completed
+    assert flow.fct == pytest.approx(0.5)
+
+
+def test_flow_deadline_defaults_none():
+    assert Flow(0, 0, 1, 1000, 0.0).deadline is None
+    assert Flow(0, 0, 1, 1000, 0.0, deadline=0.1).deadline == 0.1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=10**8),
+       st.integers(min_value=500, max_value=9000))
+def test_n_packets_covers_size(size, mss):
+    flow = Flow(0, 0, 1, size, 0.0)
+    n = flow.n_packets(mss)
+    payload = mss - HEADER_BYTES
+    assert n * payload >= size
+    assert (n - 1) * payload < size or n == 1
+
+
+def test_config_payload_per_packet():
+    cfg = TransportConfig(mss=1500)
+    assert cfg.payload_per_packet() == 1500 - HEADER_BYTES
+
+
+def test_context_completion_callback_and_record():
+    topo = make_star()
+    seen = []
+    ctx = TransportContext(topo.sim, topo.network, TransportConfig(),
+                           on_complete=seen.append)
+    flow = Flow(0, 0, 1, 1000, 0.0)
+    topo.sim.now = 0.25
+    ctx.on_complete(flow)
+    assert flow.finish_time == 0.25
+    assert ctx.completed == [flow]
+    assert seen == [flow]
+
+
+def test_context_bdp_packets_scales_with_rtt_and_rate():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, 1000, 0.0)
+    bdp = ctx.bdp_packets(flow)
+    expected = int(topo.edge_rate * ctx.base_rtt(flow) / 8.0 // 1500)
+    assert bdp == max(1, expected)
+
+
+def test_scheme_base_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Scheme().start_flow(Flow(0, 0, 1, 1, 0.0), None)
+
+
+def test_scheme_configure_network_default_noop():
+    topo = make_star()
+    Scheme().configure_network(topo.network)  # must not raise

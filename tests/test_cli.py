@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, SCHEME_FACTORIES, build_parser, main
+
+
+def test_list_schemes(capsys):
+    assert main(["list-schemes"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ppt", "dctcp", "homa", "ndp", "expresspass"):
+        assert name in out
+
+
+def test_list_workloads(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "web-search" in out
+    assert "data-mining" in out
+
+
+def test_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "PPT" in out
+    assert "Table 3" in out and "RTO_min" in out
+
+
+def test_run_small(capsys):
+    assert main(["run", "--schemes", "dctcp", "--flows", "10",
+                 "--size-cap", "200000"]) == 0
+    out = capsys.readouterr().out
+    assert "dctcp" in out
+    assert "10/10" in out
+
+
+def test_run_incast_pattern(capsys):
+    assert main(["run", "--schemes", "dctcp", "--flows", "8",
+                 "--pattern", "incast", "--incast-senders", "4",
+                 "--size-cap", "100000"]) == 0
+    assert "8/8" in capsys.readouterr().out
+
+
+def test_figure_identification(capsys):
+    assert main(["figure", "sec41"]) == 0
+    out = capsys.readouterr().out
+    assert "memcached" in out
+
+
+def test_every_scheme_factory_constructs():
+    for name, factory in SCHEME_FACTORIES.items():
+        scheme = factory()
+        assert hasattr(scheme, "start_flow"), name
+
+
+def test_every_figure_registered_is_callable():
+    for name, fn in FIGURES.items():
+        assert callable(fn), name
+
+
+def test_parser_rejects_unknown_scheme():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--schemes", "not-a-scheme"])
+
+
+def test_parser_rejects_unknown_figure():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "fig99"])

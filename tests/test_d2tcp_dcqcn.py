@@ -1,0 +1,141 @@
+"""Tests for the D2TCP and DCQCN baselines (appendix C citations)."""
+
+import pytest
+
+from conftest import make_ctx, make_star, run_single_flow
+from repro.transport.base import Flow
+from repro.transport.d2tcp import D_MAX, D_MIN, D2tcp, D2tcpSender
+from repro.transport.dcqcn import Dcqcn, DcqcnSender
+
+
+# -- D2TCP --------------------------------------------------------------------
+
+
+def test_d2tcp_completes():
+    flow, ctx, _ = run_single_flow(D2tcp(), 500_000, until=2.0)
+    assert flow.completed
+
+
+def test_no_deadline_behaves_like_dctcp():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    sender = D2tcpSender(Flow(0, 0, 1, 1_000_000, 0.0), ctx)
+    assert sender.deadline_factor() == 1.0
+
+
+def test_far_deadline_backs_off_more():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, 100_000, 0.0, deadline=10.0)  # very relaxed
+    sender = D2tcpSender(flow, ctx)
+    assert sender.deadline_factor() == D_MIN
+
+
+def test_near_deadline_backs_off_less():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, 10_000_000, 0.0, deadline=1e-6)  # hopeless
+    sender = D2tcpSender(flow, ctx)
+    assert sender.deadline_factor() == D_MAX
+
+
+def test_missed_deadline_is_max_urgency():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, 100_000, 0.0, deadline=0.5)
+    sender = D2tcpSender(flow, ctx)
+    topo.sim.now = 1.0  # past the deadline
+    assert sender.deadline_factor() == D_MAX
+
+
+def test_urgent_flow_cut_less_than_relaxed():
+    """On a marked window, the near-deadline flow keeps more window."""
+    topo = make_star()
+    ctx = make_ctx(topo)
+
+    def cut_with(deadline):
+        sender = D2tcpSender(Flow(0, 0, 1, 2_000_000, 0.0,
+                                  deadline=deadline), ctx)
+        sender.startup_done = True
+        sender.alpha = 0.5
+        sender.cwnd = 40.0
+        sender._win_acks = 10
+        sender._win_ce = 5
+        sender.cum = sender._win_end + 1
+        sender._end_of_window()
+        return sender.cwnd
+
+    relaxed = cut_with(10.0)     # d -> D_MIN: alpha^0.5 is a big penalty
+    urgent = cut_with(1e-6)      # d -> D_MAX: alpha^2 is a small penalty
+    assert urgent > relaxed
+
+
+def test_deadline_aware_flow_completes_under_contention():
+    topo = make_star(3)
+    ctx = make_ctx(topo)
+    scheme = D2tcp()
+    urgent = Flow(0, 0, 2, 400_000, 0.0, deadline=2e-3)
+    relaxed = Flow(1, 1, 2, 400_000, 0.0, deadline=1.0)
+    scheme.start_flow(urgent, ctx)
+    scheme.start_flow(relaxed, ctx)
+    topo.sim.run(until=5.0)
+    assert urgent.completed and relaxed.completed
+
+
+# -- DCQCN --------------------------------------------------------------------
+
+
+def test_dcqcn_completes():
+    flow, ctx, _ = run_single_flow(Dcqcn(), 500_000, until=2.0)
+    assert flow.completed
+
+
+def test_dcqcn_starts_at_line_rate():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    sender = DcqcnSender(Flow(0, 0, 1, 1_000_000, 0.0), ctx)
+    assert sender.cwnd == pytest.approx(float(ctx.bdp_packets(sender.flow)))
+
+
+def test_dcqcn_cuts_on_marks_and_remembers_target():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    sender = DcqcnSender(Flow(0, 0, 1, 1_000_000, 0.0), ctx)
+    before = sender.cwnd
+    topo.sim.now = 1.0  # pass the update-period gate
+    sender.cc_on_ack(True, 1e-5)
+    assert sender.cwnd < before
+    assert sender.target == pytest.approx(before)
+
+
+def test_dcqcn_fast_recovery_toward_target():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    sender = DcqcnSender(Flow(0, 0, 1, 1_000_000, 0.0), ctx)
+    sender.target = 40.0
+    sender.cwnd = 20.0
+    topo.sim.now = 1.0
+    sender.cc_on_ack(False, 1e-5)
+    assert sender.cwnd == pytest.approx(30.0)  # (RT + RC) / 2
+
+
+def test_dcqcn_hyper_increase_after_long_recovery():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    sender = DcqcnSender(Flow(0, 0, 1, 10_000_000, 0.0), ctx)
+    sender.target = sender.cwnd = 10.0
+    for step in range(1, 20):
+        topo.sim.now = step * 1.0
+        sender.cc_on_ack(False, 1e-5)
+    assert sender.target > 10.0 + sender.R_AI  # hyper stage reached
+
+
+def test_dcqcn_two_flows_share_and_complete():
+    topo = make_star(3)
+    ctx = make_ctx(topo)
+    scheme = Dcqcn()
+    flows = [Flow(0, 0, 2, 400_000, 0.0), Flow(1, 1, 2, 400_000, 0.0)]
+    for f in flows:
+        scheme.start_flow(f, ctx)
+    topo.sim.run(until=5.0)
+    assert all(f.completed for f in flows)

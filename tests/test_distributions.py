@@ -1,0 +1,105 @@
+"""Tests for empirical flow-size distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    DATA_MINING,
+    MEMCACHED_W1,
+    WEB_SEARCH,
+    WORKLOADS,
+    EmpiricalCdf,
+    sample_sizes,
+)
+
+
+def test_registry_contains_paper_workloads():
+    assert {"web-search", "data-mining", "memcached-w1"} <= set(WORKLOADS)
+
+
+def test_web_search_matches_table2():
+    assert WEB_SEARCH.fraction_below(100_000) == pytest.approx(0.62, abs=0.03)
+    assert 1.2e6 <= WEB_SEARCH.mean() <= 1.8e6       # paper: 1.6MB
+
+
+def test_data_mining_matches_table2():
+    assert DATA_MINING.fraction_below(100_000) == pytest.approx(0.83, abs=0.03)
+    assert 6e6 <= DATA_MINING.mean() <= 9e6          # paper: 7.41MB
+
+
+def test_memcached_w1_all_small():
+    """More than 70% of flows < 1000B, all flows < 100KB (§6.3.2)."""
+    assert MEMCACHED_W1.fraction_below(1_000) >= 0.70
+    sizes = sample_sizes(MEMCACHED_W1, 2000, seed=1)
+    assert max(sizes) <= 100_000
+
+
+def test_sampling_respects_cap():
+    sizes = sample_sizes(WEB_SEARCH, 500, seed=2, cap=1_000_000)
+    assert max(sizes) <= 1_000_000
+
+
+def test_capped_mean_consistent():
+    cap = 500_000
+    empirical = sum(sample_sizes(WEB_SEARCH, 20_000, seed=3, cap=cap)) / 20_000
+    analytic = WEB_SEARCH.mean(cap)
+    assert empirical == pytest.approx(analytic, rel=0.1)
+
+
+def test_sampling_deterministic_by_seed():
+    assert sample_sizes(WEB_SEARCH, 100, seed=5) == sample_sizes(
+        WEB_SEARCH, 100, seed=5)
+    assert sample_sizes(WEB_SEARCH, 100, seed=5) != sample_sizes(
+        WEB_SEARCH, 100, seed=6)
+
+
+def test_invalid_cdfs_rejected():
+    with pytest.raises(ValueError):
+        EmpiricalCdf("one-point", [(100, 0.0)])
+    with pytest.raises(ValueError):
+        EmpiricalCdf("unsorted-sizes", [(200, 0.0), (100, 1.0)])
+    with pytest.raises(ValueError):
+        EmpiricalCdf("unsorted-probs", [(100, 0.5), (200, 0.2), (300, 1.0)])
+    with pytest.raises(ValueError):
+        EmpiricalCdf("bad-ends", [(100, 0.1), (200, 1.0)])
+
+
+def test_fraction_below_endpoints():
+    cdf = EmpiricalCdf("t", [(100, 0.0), (200, 0.5), (300, 1.0)])
+    assert cdf.fraction_below(50) == 0.0
+    assert cdf.fraction_below(150) == pytest.approx(0.25)
+    assert cdf.fraction_below(1000) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_samples_within_support(seed):
+    rng = random.Random(seed)
+    for cdf in (WEB_SEARCH, DATA_MINING, MEMCACHED_W1):
+        size = cdf.sample(rng)
+        assert cdf._sizes[0] - 1 <= size <= cdf._sizes[-1]
+        assert size >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 10**8),
+                          st.floats(0.01, 0.99)),
+                min_size=1, max_size=8))
+def test_arbitrary_valid_cdf_sampling(points):
+    """Property: any well-formed CDF samples within its own support and
+    its analytic mean brackets the empirical mean."""
+    points = sorted(set(points))
+    sizes = [p[0] for p in points]
+    probs = sorted(p[1] for p in points)
+    full = ([(sizes[0], 0.0)] +
+            [(s, p) for s, p in zip(sizes[1:], probs[:len(sizes) - 1])] +
+            [(sizes[-1] + 1, 1.0)])
+    # keep probabilities strictly valid
+    cdf = EmpiricalCdf("gen", full)
+    rng = random.Random(0)
+    draws = [cdf.sample(rng) for _ in range(300)]
+    assert min(draws) >= 1
+    assert max(draws) <= sizes[-1] + 1

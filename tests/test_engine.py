@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+def test_schedule_and_run_in_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2e-3, fired.append, "b")
+    sim.schedule(1e-3, fired.append, "a")
+    sim.schedule(3e-3, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == pytest.approx(3e-3)
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in range(10):
+        sim.schedule(1e-3, fired.append, label)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1e-9, lambda: None)
+
+
+def test_zero_delay_allowed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1e-3, fired.append, "x")
+    sim.schedule(0.5e-3, fired.append, "y")
+    event.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1e-3, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.run() == 0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1e-3, fired.append, "early")
+    sim.schedule(5e-3, fired.append, "late")
+    sim.run(until=2e-3)
+    assert fired == ["early"]
+    assert sim.now == pytest.approx(2e-3)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_when_heap_empties():
+    sim = Simulator()
+    sim.run(until=7e-3)
+    assert sim.now == pytest.approx(7e-3)
+
+
+def test_events_scheduled_during_run_are_executed():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 4:
+            sim.schedule(1e-6, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1e-3, lambda: sim.schedule_at(5e-3, fired.append, "x"))
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == pytest.approx(5e-3)
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i * 1e-6, lambda: None)
+    assert sim.run(max_events=3) == 3
+    assert sim.run() == 7
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1e-6, fired.append, 1)
+    sim.schedule(2e-6, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1e-6, lambda: None)
+    sim.schedule(2e-6, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == pytest.approx(2e-6)
+
+
+def test_events_run_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i * 1e-6, lambda: None)
+    sim.run()
+    assert sim.events_run == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                max_size=50))
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    """Property: whatever the scheduling order, execution time is
+    non-decreasing."""
+    sim = Simulator()
+    times = []
+    for delay in delays:
+        sim.schedule(delay, lambda: times.append(sim.now))
+    sim.run()
+    assert len(times) == len(delays)
+    assert times == sorted(times)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2,
+                max_size=30), st.data())
+def test_cancelling_any_subset_fires_exactly_the_rest(delays, data):
+    sim = Simulator()
+    events = [sim.schedule(d, lambda: None) for d in delays]
+    to_cancel = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(events) - 1)))
+    for idx in to_cancel:
+        events[idx].cancel()
+    executed = sim.run()
+    assert executed == len(events) - len(to_cancel)

@@ -1,0 +1,119 @@
+"""Fast smoke tests for the per-figure drivers.
+
+The benchmarks run the figures at their calibrated default scale and
+assert the paper's shapes; these tests only verify each driver executes
+end-to-end at a *tiny* scale and returns well-formed rows, so a broken
+driver fails in the unit suite (seconds), not just the benchmark suite
+(minutes)."""
+
+import math
+
+import pytest
+
+from repro.experiments import figures
+
+
+def assert_rows(result, required_keys):
+    assert result["rows"], "driver returned no rows"
+    for row in result["rows"]:
+        for key in required_keys:
+            assert key in row, f"missing column {key}"
+            value = row[key]
+            if isinstance(value, float):
+                assert not math.isnan(value) or key.startswith("large"), key
+
+
+def test_fig01_smoke():
+    result = figures.fig01_link_utilization(n_flows=20)
+    assert_rows(result, ["scheme", "avg_utilization"])
+    assert len(result["series"]["dctcp"]) > 0
+
+
+def test_fig02_smoke():
+    result = figures.fig02_hypothetical(n_flows=20)
+    assert_rows(result, ["scheme", "overall_avg_ms"])
+    assert len(result["rows"]) == 4
+
+
+def test_fig03_smoke():
+    result = figures.fig03_fill_factor(factors=(1.0,), n_flows=15)
+    assert_rows(result, ["fill_factor", "overall_avg_ms"])
+
+
+def test_fig08_smoke():
+    result = figures.fig08_09_testbed_15to15("web-search", loads=(0.4,),
+                                             n_flows=15)
+    assert_rows(result, ["scheme", "overall_avg_ms", "load"])
+    assert len(result["rows"]) == 4
+
+
+def test_fig10_smoke():
+    result = figures.fig10_11_testbed_14to1("data-mining", n_flows=15)
+    assert_rows(result, ["scheme", "overall_avg_ms"])
+
+
+def test_fig12_smoke():
+    result = figures.fig12_13_largescale("web-search", n_flows=20)
+    assert_rows(result, ["scheme", "overall_avg_ms", "small_p99_ms"])
+    assert len(result["rows"]) == 6
+
+
+def test_fig14_smoke():
+    result = figures.fig14_delay_based(n_flows=15)
+    names = {row["scheme"] for row in result["rows"]}
+    assert names == {"swift", "ppt-swift"}
+
+
+def test_fig15_18_smoke():
+    for fn in (figures.fig15_ablation_lcp_ecn, figures.fig16_ablation_ewd,
+               figures.fig17_ablation_scheduling,
+               figures.fig18_ablation_identification):
+        result = fn(n_flows=15)
+        assert len(result["rows"]) == 2
+
+
+def test_fig19_smoke():
+    result = figures.fig19_cpu_overhead(loads=(0.4,), n_flows=15)
+    assert_rows(result, ["load", "dctcp_cpu_pct", "ppt_cpu_pct", "gap_pct"])
+
+
+def test_fig21_smoke():
+    result = figures.fig21_memcached(n_flows=400)
+    assert len(result["rows"]) == 6
+
+
+def test_fig23_smoke():
+    result = figures.fig23_incast_sweep(ratios=(4,), n_flows=20)
+    assert_rows(result, ["scheme", "incast_ratio", "overall_avg_ms"])
+
+
+def test_fig24_smoke():
+    result = figures.fig24_rc3_lp_buffer(fractions=(0.5,), n_flows=20)
+    schemes = [row["scheme"] for row in result["rows"]]
+    assert schemes.count("rc3") == 1 and "ppt" in schemes
+
+
+def test_fig25_smoke():
+    result = figures.fig25_pias_hpcc(n_flows=20)
+    assert {r["scheme"] for r in result["rows"]} == {"hpcc", "pias", "ppt"}
+
+
+def test_fig27_smoke():
+    result = figures.fig27_send_buffer(sizes=(128_000,), n_flows=20)
+    assert result["rows"][0]["send_buffer"] == 128_000
+
+
+def test_fig28_smoke():
+    result = figures.fig28_buffer_occupancy(fractions=(0.6,), n_flows=20)
+    assert_rows(result, ["scheme", "avg_total_bytes", "low_share"])
+
+
+def test_fig29_smoke():
+    result = figures.fig29_transfer_efficiency(fractions=(0.6,), n_flows=20)
+    assert_rows(result, ["scheme", "overall_efficiency"])
+
+
+def test_sec41_smoke():
+    result = figures.sec41_identification_accuracy(n_messages=500)
+    assert 0.0 <= result["memcached"] <= 1.0
+    assert 0.0 <= result["web"] <= 1.0

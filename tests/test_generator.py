@@ -1,0 +1,116 @@
+"""Tests for the Poisson flow generator and traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.transport.base import Flow
+from repro.units import gbps
+from repro.workloads.distributions import WEB_SEARCH
+from repro.workloads.generator import poisson_flows
+from repro.workloads.patterns import all_to_all, fixed_pairs, incast, permutation
+
+
+def test_flow_count_and_ids():
+    flows = poisson_flows(all_to_all(range(8)), WEB_SEARCH, load=0.5,
+                          link_rate=gbps(10), n_flows=50, n_senders=8)
+    assert len(flows) == 50
+    assert [f.flow_id for f in flows] == list(range(50))
+
+
+def test_start_times_nondecreasing_from_zero():
+    flows = poisson_flows(all_to_all(range(4)), WEB_SEARCH, load=0.5,
+                          link_rate=gbps(10), n_flows=30, n_senders=4)
+    times = [f.start_time for f in flows]
+    assert times[0] == 0.0
+    assert times == sorted(times)
+
+
+def test_offered_load_approximates_target():
+    """Total offered bytes over the arrival horizon approximates
+    load x capacity."""
+    load, rate, n = 0.5, gbps(10), 3000
+    flows = poisson_flows(all_to_all(range(4)), WEB_SEARCH, load=load,
+                          link_rate=rate, n_flows=n, n_senders=4,
+                          size_cap=1_000_000, seed=42)
+    horizon = flows[-1].start_time
+    offered = sum(f.size for f in flows) * 8 / horizon
+    assert offered == pytest.approx(load * 4 * rate, rel=0.15)
+
+
+def test_seed_determinism():
+    a = poisson_flows(all_to_all(range(4)), WEB_SEARCH, load=0.5,
+                      link_rate=gbps(10), n_flows=20, n_senders=4, seed=1)
+    b = poisson_flows(all_to_all(range(4)), WEB_SEARCH, load=0.5,
+                      link_rate=gbps(10), n_flows=20, n_senders=4, seed=1)
+    assert [(f.src, f.dst, f.size, f.start_time) for f in a] == \
+           [(f.src, f.dst, f.size, f.start_time) for f in b]
+
+
+def test_size_cap_enforced():
+    flows = poisson_flows(all_to_all(range(4)), WEB_SEARCH, load=0.5,
+                          link_rate=gbps(10), n_flows=200, n_senders=4,
+                          size_cap=250_000)
+    assert max(f.size for f in flows) <= 250_000
+
+
+def test_invalid_args_rejected():
+    with pytest.raises(ValueError):
+        poisson_flows(all_to_all(range(4)), WEB_SEARCH, load=0.0,
+                      link_rate=gbps(10), n_flows=10)
+    with pytest.raises(ValueError):
+        poisson_flows(all_to_all(range(4)), WEB_SEARCH, load=0.5,
+                      link_rate=gbps(10), n_flows=0)
+
+
+def test_first_flow_id_offset():
+    flows = poisson_flows(all_to_all(range(4)), WEB_SEARCH, load=0.5,
+                          link_rate=gbps(10), n_flows=5, n_senders=4,
+                          first_flow_id=100)
+    assert [f.flow_id for f in flows] == [100, 101, 102, 103, 104]
+
+
+# -- patterns ----------------------------------------------------------------
+
+
+def test_all_to_all_no_self_pairs():
+    sampler = all_to_all(range(6))
+    rng = random.Random(0)
+    for _ in range(500):
+        src, dst = sampler(rng)
+        assert src != dst
+        assert 0 <= src < 6 and 0 <= dst < 6
+
+
+def test_all_to_all_requires_two_hosts():
+    with pytest.raises(ValueError):
+        all_to_all([1])
+
+
+def test_incast_fixed_receiver():
+    sampler = incast(range(5), receiver=4)
+    rng = random.Random(0)
+    for _ in range(100):
+        src, dst = sampler(rng)
+        assert dst == 4
+        assert src != 4
+
+
+def test_incast_requires_a_sender():
+    with pytest.raises(ValueError):
+        incast([3], receiver=3)
+
+
+def test_fixed_pairs():
+    sampler = fixed_pairs([(0, 1), (2, 3)])
+    rng = random.Random(0)
+    pairs = {sampler(rng) for _ in range(50)}
+    assert pairs <= {(0, 1), (2, 3)}
+
+
+def test_permutation_is_derangement():
+    sampler = permutation(range(10), seed=3)
+    rng = random.Random(0)
+    for _ in range(100):
+        src, dst = sampler(rng)
+        assert src != dst

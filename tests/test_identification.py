@@ -1,0 +1,85 @@
+"""Tests for buffer-aware flow identification (§4.1)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identification import (
+    MEMCACHED_APP,
+    WEB_SERVER_APP,
+    AppWriteModel,
+    identification_accuracy,
+    identify_large,
+)
+from repro.workloads.distributions import MEMCACHED_ETC, YOUTUBE_HTTP, sample_sizes
+
+
+def test_identify_large_threshold():
+    assert identify_large(100_000, 100_000)
+    assert identify_large(200_000, 100_000)
+    assert not identify_large(99_999, 100_000)
+
+
+def test_whole_write_identifies():
+    rng = random.Random(0)
+    app = AppWriteModel("ideal", framing_probability=0.0,
+                        framing_bytes=(10, 20))
+    first = app.first_syscall(50_000, send_buffer=16_000, rng=rng)
+    assert first == 16_000  # capped by the send buffer
+
+
+def test_framing_write_defeats_identification():
+    rng = random.Random(0)
+    app = AppWriteModel("framed", framing_probability=1.0,
+                        framing_bytes=(100, 200))
+    first = app.first_syscall(50_000, send_buffer=16_000, rng=rng)
+    assert first < 1_000
+
+
+def test_small_message_never_exceeds_its_size():
+    rng = random.Random(0)
+    first = MEMCACHED_APP.first_syscall(80, send_buffer=16_000, rng=rng)
+    assert first <= 80
+
+
+def test_memcached_accuracy_matches_paper_band():
+    """§4.1 reports 86.7% for >1KB Memcached flows at a 1KB threshold."""
+    sizes = sample_sizes(MEMCACHED_ETC, 5000, seed=1)
+    acc = identification_accuracy(sizes, MEMCACHED_APP, threshold=1_000,
+                                  send_buffer=16_000)
+    assert 0.80 <= acc <= 0.93
+
+
+def test_web_server_accuracy_matches_paper_band():
+    """§4.1 reports 84.3% for >10KB web flows at a 10KB threshold."""
+    sizes = sample_sizes(YOUTUBE_HTTP, 5000, seed=2)
+    acc = identification_accuracy(sizes, WEB_SERVER_APP, threshold=10_000,
+                                  send_buffer=16_000)
+    assert 0.78 <= acc <= 0.92
+
+
+def test_accuracy_all_small_trace_is_vacuous():
+    acc = identification_accuracy([10, 20, 30], MEMCACHED_APP,
+                                  threshold=1_000, send_buffer=16_000)
+    assert acc == 1.0
+
+
+def test_accuracy_deterministic_for_seed():
+    sizes = sample_sizes(MEMCACHED_ETC, 1000, seed=3)
+    a = identification_accuracy(sizes, MEMCACHED_APP, threshold=1_000,
+                                send_buffer=16_000, seed=9)
+    b = identification_accuracy(sizes, MEMCACHED_APP, threshold=1_000,
+                                send_buffer=16_000, seed=9)
+    assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1_001, max_value=10**7))
+def test_ideal_app_always_identified(size):
+    """With framing probability 0 and an adequate buffer, every large
+    flow is identified — accuracy loss comes only from app behaviour."""
+    rng = random.Random(0)
+    app = AppWriteModel("ideal", 0.0, (1, 1))
+    first = app.first_syscall(size, send_buffer=2**31, rng=rng)
+    assert identify_large(first, 1_000)

@@ -1,0 +1,99 @@
+"""Unit tests for the Port (transmitter + queue)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Port
+from repro.sim.packet import Packet
+from repro.sim.queues import PriorityMux
+from repro.units import gbps, serialization_delay, us
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, pkt):
+        self.received.append(pkt)
+
+
+def make_port(sim, rate=gbps(10), prop=us(5), buffer_bytes=100_000):
+    sink = Sink()
+    port = Port(sim, rate, prop, PriorityMux(buffer_bytes), sink, "test")
+    return port, sink
+
+
+def pkt(seq=0, size=1500, priority=0):
+    return Packet(1, 0, 1, seq, size, priority=priority)
+
+
+def test_single_packet_timing():
+    sim = Simulator()
+    port, sink = make_port(sim)
+    port.send(pkt(size=1500))
+    sim.run()
+    expected = serialization_delay(1500, gbps(10)) + us(5)
+    assert len(sink.received) == 1
+    assert sim.now == pytest.approx(expected)
+
+
+def test_back_to_back_serialization():
+    sim = Simulator()
+    port, sink = make_port(sim)
+    for seq in range(3):
+        port.send(pkt(seq))
+    sim.run()
+    assert [p.seq for p in sink.received] == [0, 1, 2]
+    expected = 3 * serialization_delay(1500, gbps(10)) + us(5)
+    assert sim.now == pytest.approx(expected)
+
+
+def test_priority_overtakes_queued_packet():
+    sim = Simulator()
+    port, sink = make_port(sim)
+    port.send(pkt(seq=0, priority=7))   # starts transmitting immediately
+    port.send(pkt(seq=1, priority=7))   # queued
+    port.send(pkt(seq=2, priority=0))   # higher priority, overtakes seq 1
+    sim.run()
+    assert [p.seq for p in sink.received] == [0, 2, 1]
+
+
+def test_counters():
+    sim = Simulator()
+    port, _sink = make_port(sim)
+    for seq in range(4):
+        port.send(pkt(seq, size=1000))
+    sim.run()
+    assert port.pkts_sent == 4
+    assert port.bytes_sent == 4000
+    assert port.busy_time == pytest.approx(4 * serialization_delay(1000, gbps(10)))
+
+
+def test_drop_when_queue_full():
+    sim = Simulator()
+    port, sink = make_port(sim, buffer_bytes=1500)
+    assert port.send(pkt(0))      # immediately starts transmitting
+    assert port.send(pkt(1))      # fills the buffer
+    assert not port.send(pkt(2))  # dropped
+    sim.run()
+    assert len(sink.received) == 2
+
+
+def test_queue_delay_accounting():
+    sim = Simulator()
+    port, sink = make_port(sim)
+    first, second = pkt(0), pkt(1)
+    port.send(first)
+    port.send(second)
+    sim.run()
+    tx = serialization_delay(1500, gbps(10))
+    assert first.queue_delay == pytest.approx(0.0, abs=1e-12)
+    assert second.queue_delay == pytest.approx(tx)
+
+
+def test_backlog_bytes():
+    sim = Simulator()
+    port, _ = make_port(sim)
+    port.send(pkt(0))
+    port.send(pkt(1))
+    assert port.backlog_bytes == 1500  # one on the wire, one queued

@@ -1,0 +1,184 @@
+"""Tests for FCT statistics, samplers, efficiency and CPU metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_ctx, make_star, run_single_flow
+from repro.core.ppt import Ppt
+from repro.metrics.cpu import CpuStats, collect_cpu
+from repro.metrics.efficiency import collect_efficiency
+from repro.metrics.fct import SMALL_FLOW_BYTES, FctStats, mean, percentile, reduction
+from repro.metrics.sampler import BufferOccupancySampler, LinkUtilizationSampler
+from repro.transport.base import Flow
+from repro.transport.dctcp import Dctcp
+
+
+def make_flow(size, fct, flow_id=0):
+    flow = Flow(flow_id, 0, 1, size, start_time=1.0)
+    flow.finish_time = 1.0 + fct
+    return flow
+
+
+# -- percentile / mean ---------------------------------------------------------
+
+
+def test_percentile_basics():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 50) == 3.0
+    assert percentile(values, 100) == 5.0
+    assert percentile(values, 75) == pytest.approx(4.0)
+
+
+def test_percentile_empty_is_nan():
+    assert math.isnan(percentile([], 99))
+
+
+def test_mean_empty_is_nan():
+    assert math.isnan(mean([]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                max_size=100),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_properties(values, p):
+    result = percentile(values, p)
+    assert min(values) <= result <= max(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2,
+                max_size=50))
+def test_percentile_monotone_in_p(values):
+    ps = [0, 25, 50, 75, 99, 100]
+    results = [percentile(values, p) for p in ps]
+    assert results == sorted(results)
+
+
+# -- FctStats ------------------------------------------------------------------
+
+
+def test_fct_stats_partitions_small_large():
+    flows = [make_flow(50_000, 1e-3, 0), make_flow(50_000, 3e-3, 1),
+             make_flow(500_000, 10e-3, 2)]
+    stats = FctStats.from_flows(flows)
+    assert stats.n_flows == 3
+    assert stats.n_small == 2
+    assert stats.n_large == 1
+    assert stats.small_avg == pytest.approx(2e-3)
+    assert stats.large_avg == pytest.approx(10e-3)
+    assert stats.overall_avg == pytest.approx((1 + 3 + 10) / 3 * 1e-3)
+
+
+def test_fct_stats_boundary_is_inclusive_small():
+    stats = FctStats.from_flows([make_flow(SMALL_FLOW_BYTES, 1e-3)])
+    assert stats.n_small == 1
+
+
+def test_fct_stats_ignores_incomplete():
+    incomplete = Flow(9, 0, 1, 1000, 0.0)
+    stats = FctStats.from_flows([make_flow(1000, 1e-3), incomplete])
+    assert stats.n_flows == 1
+
+
+def test_fct_stats_row_and_str():
+    stats = FctStats.from_flows([make_flow(1000, 1e-3)])
+    row = stats.row()
+    assert row["overall_avg_ms"] == pytest.approx(1.0)
+    assert "overall" in str(stats)
+
+
+def test_reduction():
+    assert reduction(10.0, 5.0) == pytest.approx(50.0)
+    assert reduction(10.0, 10.0) == 0.0
+    assert math.isnan(reduction(0.0, 5.0))
+
+
+# -- samplers -----------------------------------------------------------------
+
+
+def test_link_utilization_sampler_idle_link():
+    topo = make_star(3)
+    port = topo.network.port_to_host(2)
+    sampler = LinkUtilizationSampler(topo.sim, port, 10e-6)
+    topo.sim.run(until=100e-6)
+    assert sampler.samples
+    assert all(s.utilization == 0.0 for s in sampler.samples)
+
+
+def test_link_utilization_sampler_busy_link():
+    topo = make_star(3)
+    scheme = Dctcp()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 2, 2_000_000, 0.0)
+    port = topo.network.port_to_host(2)
+    sampler = LinkUtilizationSampler(topo.sim, port, 20e-6)
+    scheme.start_flow(flow, ctx)
+    topo.sim.run(until=2.0)
+    assert flow.completed
+    peak = max(sampler.utilizations())
+    assert 0.8 <= peak <= 1.05
+
+
+def test_buffer_occupancy_sampler():
+    topo = make_star(3)
+    port = topo.network.port_to_host(2)
+    sampler = BufferOccupancySampler(topo.sim, port, 10e-6)
+    topo.sim.run(until=100e-6)
+    total, high, low = sampler.averages()
+    assert total == 0.0 and high == 0.0 and low == 0.0
+
+
+# -- efficiency ----------------------------------------------------------------
+
+
+def test_efficiency_lossless_run_is_unity():
+    flow, ctx, topo = run_single_flow(Dctcp(), 200_000, until=1.0)
+    eff = collect_efficiency(topo.network)
+    assert eff.pkts_sent >= flow.n_packets(ctx.config.mss)
+    assert eff.overall == pytest.approx(1.0, abs=0.02)
+
+
+def test_efficiency_counts_ppt_lp_traffic():
+    flow, ctx, topo = run_single_flow(Ppt(), 300_000, until=1.0)
+    eff = collect_efficiency(topo.network)
+    assert eff.lp_pkts_sent > 0
+    assert 0.0 < eff.low_priority <= 1.0
+
+
+def test_efficiency_nan_when_nothing_sent():
+    topo = make_star(3)
+    eff = collect_efficiency(topo.network)
+    assert math.isnan(eff.overall)
+    assert math.isnan(eff.low_priority)
+
+
+# -- cpu proxy -----------------------------------------------------------------
+
+
+def test_cpu_ops_counted():
+    flow, ctx, topo = run_single_flow(Dctcp(), 100_000, until=1.0)
+    cpu = collect_cpu(topo.network, duration=flow.finish_time)
+    assert cpu.total_ops > 0
+    assert cpu.ops_per_second > 0
+    assert cpu.usage_proxy() > 0
+
+
+def test_cpu_zero_duration_is_nan():
+    stats = CpuStats(ops_by_host={0: 10}, duration=0.0)
+    assert math.isnan(stats.ops_per_second)
+
+
+def test_ppt_overhead_scales_with_lp_traffic():
+    """PPT's extra datapath ops over DCTCP come from opportunistic
+    packets — a bounded, small increment (Fig. 19's claim)."""
+    f1, _, topo1 = run_single_flow(Dctcp(), 500_000, until=1.0)
+    f2, _, topo2 = run_single_flow(Ppt(), 500_000, until=1.0)
+    ops_dctcp = collect_cpu(topo1.network, f1.finish_time).total_ops
+    ops_ppt = collect_cpu(topo2.network, f2.finish_time).total_ops
+    assert ops_ppt >= ops_dctcp * 0.9
+    assert ops_ppt <= ops_dctcp * 2.5

@@ -1,0 +1,233 @@
+"""Unit and property tests for the strict-priority mux."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.packet import DATA, HEADER, HEADER_BYTES, Packet
+from repro.sim.queues import PriorityMux
+
+
+def make_pkt(seq=0, size=1500, priority=0, *, lcp=False, unscheduled=False,
+             ecn_capable=True):
+    pkt = Packet(flow_id=1, src=0, dst=1, seq=seq, size=size,
+                 kind=DATA, priority=priority, ecn_capable=ecn_capable)
+    pkt.lcp = lcp
+    pkt.unscheduled = unscheduled
+    return pkt
+
+
+def test_fifo_within_priority():
+    mux = PriorityMux(100_000)
+    for seq in range(5):
+        assert mux.enqueue(make_pkt(seq))
+    assert [mux.dequeue().seq for _ in range(5)] == list(range(5))
+
+
+def test_strict_priority_order():
+    mux = PriorityMux(100_000)
+    mux.enqueue(make_pkt(seq=1, priority=7))
+    mux.enqueue(make_pkt(seq=2, priority=3))
+    mux.enqueue(make_pkt(seq=3, priority=0))
+    order = [mux.dequeue().priority for _ in range(3)]
+    assert order == [0, 3, 7]
+
+
+def test_dequeue_empty_returns_none():
+    mux = PriorityMux(100_000)
+    assert mux.dequeue() is None
+    assert mux.empty
+
+
+def test_shared_buffer_tail_drop():
+    mux = PriorityMux(3000)
+    assert mux.enqueue(make_pkt(size=1500))
+    assert mux.enqueue(make_pkt(size=1500))
+    assert not mux.enqueue(make_pkt(size=1500))
+    assert mux.stats.dropped == 1
+
+
+def test_occupancy_tracks_bytes():
+    mux = PriorityMux(100_000)
+    mux.enqueue(make_pkt(size=1500))
+    mux.enqueue(make_pkt(size=500, priority=4))
+    assert mux.occupancy == 2000
+    assert mux.queue_occupancy[0] == 1500
+    assert mux.queue_occupancy[4] == 500
+    mux.dequeue()
+    assert mux.occupancy == 500
+
+
+def test_occupancy_split_high_low():
+    mux = PriorityMux(100_000)
+    mux.enqueue(make_pkt(size=1000, priority=2))
+    mux.enqueue(make_pkt(size=700, priority=6))
+    split = mux.occupancy_split()
+    assert split == {"high": 1000, "low": 700}
+
+
+def test_ecn_threshold_semantics_queue_mode():
+    mux = PriorityMux(100_000, [3000] * 8, ecn_mode="queue")
+    p1, p2, p3 = make_pkt(size=1500), make_pkt(size=1500), make_pkt(size=1500)
+    mux.enqueue(p1)
+    mux.enqueue(p2)
+    mux.enqueue(p3)
+    assert not p1.ecn_ce
+    assert not p2.ecn_ce   # queue held 1500 < 3000 at arrival
+    assert p3.ecn_ce       # queue held 3000 >= 3000 at arrival
+
+
+def test_paper_mode_hp_marks_on_hp_half_only():
+    mux = PriorityMux(100_000, [3000] * 4 + [3000] * 4, ecn_mode="paper")
+    # Fill P5 (low half) with 6KB: must NOT mark high-priority arrivals.
+    mux.enqueue(make_pkt(size=3000, priority=5))
+    mux.enqueue(make_pkt(size=3000, priority=5))
+    hp = make_pkt(size=1500, priority=1)
+    mux.enqueue(hp)
+    assert not hp.ecn_ce
+    # But a low-priority arrival marks on the *total* occupancy.
+    lp = make_pkt(size=1500, priority=6, lcp=True)
+    mux.enqueue(lp)
+    assert lp.ecn_ce
+
+
+def test_paper_mode_hp_half_aggregates_across_hp_queues():
+    mux = PriorityMux(100_000, [3000] * 8, ecn_mode="paper")
+    mux.enqueue(make_pkt(size=2000, priority=0))
+    mux.enqueue(make_pkt(size=2000, priority=3))
+    hp = make_pkt(size=1000, priority=1)
+    mux.enqueue(hp)
+    assert hp.ecn_ce  # P0-P3 hold 4000 >= 3000
+
+
+def test_non_ecn_capable_never_marked():
+    mux = PriorityMux(100_000, [0] * 8, ecn_mode="queue")
+    mux.enqueue(make_pkt(size=1500))
+    pkt = make_pkt(size=1500, ecn_capable=False)
+    mux.enqueue(pkt)
+    assert not pkt.ecn_ce
+
+
+def test_dynamic_threshold_caps_greedy_queue():
+    # alpha=1: a queue may hold at most the remaining free space.
+    mux = PriorityMux(10_000, dt_alpha=1.0)
+    admitted = 0
+    for seq in range(10):
+        if mux.enqueue(make_pkt(seq, size=1000, priority=5)):
+            admitted += 1
+    # equilibrium: queue <= buffer/2 under alpha=1
+    assert mux.queue_occupancy[5] <= 5000 + 1000
+    assert admitted < 10
+    # another priority still has room
+    assert mux.enqueue(make_pkt(size=1000, priority=0))
+
+
+def test_dt_alpha_per_priority_sequence():
+    mux = PriorityMux(10_000, dt_alpha=[8.0] * 4 + [0.5] * 4)
+    for seq in range(10):
+        mux.enqueue(make_pkt(seq, size=1000, priority=6))
+    low_occ = mux.queue_occupancy[6]
+    for seq in range(10):
+        mux.enqueue(make_pkt(seq, size=1000, priority=1))
+    assert mux.queue_occupancy[1] > low_occ
+
+
+def test_dt_alpha_bad_length_rejected():
+    with pytest.raises(ValueError):
+        PriorityMux(10_000, dt_alpha=[1.0, 2.0])
+
+
+def test_bad_ecn_mode_rejected():
+    with pytest.raises(ValueError):
+        PriorityMux(10_000, ecn_mode="bogus")
+
+
+def test_bad_threshold_count_rejected():
+    with pytest.raises(ValueError):
+        PriorityMux(10_000, [1000] * 3)
+
+
+def test_trim_threshold_cuts_payload():
+    mux = PriorityMux(100_000, trim=True)
+    mux.trim_threshold_bytes = 3000
+    mux.enqueue(make_pkt(size=1500, priority=1))
+    mux.enqueue(make_pkt(size=1500, priority=1))
+    victim = make_pkt(seq=9, size=1500, priority=1)
+    assert mux.enqueue(victim)
+    assert victim.kind == HEADER
+    assert victim.size == HEADER_BYTES
+    assert victim.priority == 0
+    assert mux.stats.trimmed == 1
+
+
+def test_trim_on_buffer_exhaustion():
+    mux = PriorityMux(3100, trim=True)
+    mux.enqueue(make_pkt(size=1500))
+    mux.enqueue(make_pkt(size=1500))
+    victim = make_pkt(seq=9, size=1500)
+    assert mux.enqueue(victim)  # trimmed header (64B) still fits
+    assert victim.kind == HEADER
+
+
+def test_trim_drops_header_when_buffer_truly_full():
+    mux = PriorityMux(3000, trim=True)
+    mux.enqueue(make_pkt(size=1500))
+    mux.enqueue(make_pkt(size=1500))
+    assert not mux.enqueue(make_pkt(seq=9, size=1500))
+    assert mux.stats.dropped == 1
+
+
+def test_selective_drop_only_hits_unscheduled():
+    mux = PriorityMux(100_000, selective_drop_threshold=2000)
+    mux.enqueue(make_pkt(size=1500))
+    mux.enqueue(make_pkt(size=1500))  # occupancy now 3000 > 2000
+    unsched = make_pkt(unscheduled=True)
+    sched = make_pkt()
+    assert not mux.enqueue(unsched)
+    assert mux.enqueue(sched)
+
+
+def test_lp_buffer_cap():
+    mux = PriorityMux(100_000, lp_buffer_cap=2000)
+    assert mux.enqueue(make_pkt(size=1500, priority=5, lcp=True))
+    assert not mux.enqueue(make_pkt(size=1500, priority=5, lcp=True))
+    assert mux.enqueue(make_pkt(size=1500, priority=0))  # HP unaffected
+    assert mux.lp_occupancy == 1500
+
+
+def test_drop_hook_invoked():
+    dropped = []
+    mux = PriorityMux(1000)
+    mux.drop_hook = dropped.append
+    mux.enqueue(make_pkt(size=1500))
+    assert len(dropped) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(64, 1500)),
+                min_size=1, max_size=60),
+       st.integers(min_value=2000, max_value=20_000))
+def test_conservation_and_occupancy_invariants(items, buffer_bytes):
+    """Property: enqueued = dequeued + still-queued; occupancy equals the
+    byte sum of queued packets; dequeue order respects strict priority."""
+    mux = PriorityMux(buffer_bytes)
+    admitted = 0
+    for priority, size in items:
+        if mux.enqueue(make_pkt(size=size, priority=priority)):
+            admitted += 1
+    assert mux.stats.enqueued == admitted
+    assert mux.stats.dropped == len(items) - admitted
+    assert mux.occupancy == sum(
+        p.size for q in mux.queues for p in q)
+    assert mux.occupancy <= buffer_bytes
+
+    out = []
+    while True:
+        pkt = mux.dequeue()
+        if pkt is None:
+            break
+        out.append(pkt.priority)
+    assert len(out) == admitted
+    assert out == sorted(out)  # strict priority drains highest class first
+    assert mux.occupancy == 0
+    assert all(v == 0 for v in mux.queue_occupancy)

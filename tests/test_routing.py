@@ -1,0 +1,51 @@
+"""Unit and property tests for ECMP hashing and spraying."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.routing import SprayCounter, ecmp_hash
+
+
+def test_single_choice_is_zero():
+    assert ecmp_hash(123, 4, 1) == 0
+    assert ecmp_hash(123, 4, 0) == 0
+
+
+def test_deterministic():
+    assert ecmp_hash(42, 7, 8) == ecmp_hash(42, 7, 8)
+
+
+def test_different_switches_decorrelated():
+    """Two switches should not always pick the same index for the same
+    flows (independent hash seeds)."""
+    picks_a = [ecmp_hash(f, 1, 4) for f in range(200)]
+    picks_b = [ecmp_hash(f, 2, 4) for f in range(200)]
+    assert picks_a != picks_b
+
+
+def test_distribution_roughly_uniform():
+    n_choices = 4
+    counts = Counter(ecmp_hash(f, 0, n_choices) for f in range(4000))
+    for choice in range(n_choices):
+        assert 800 <= counts[choice] <= 1200  # 1000 +- 20%
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31), st.integers(0, 64),
+       st.integers(min_value=1, max_value=16))
+def test_hash_in_range(flow_id, switch_id, n):
+    assert 0 <= ecmp_hash(flow_id, switch_id, n) < n
+
+
+def test_spray_counter_round_robin():
+    spray = SprayCounter()
+    picks = [spray.next(3) for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_spray_counter_single_choice():
+    spray = SprayCounter()
+    assert spray.next(1) == 0
+    assert spray.next(1) == 0

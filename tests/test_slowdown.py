@@ -1,0 +1,65 @@
+"""Tests for the FCT-slowdown metric."""
+
+import math
+
+import pytest
+
+from conftest import make_ctx, make_star, run_single_flow
+from repro.core.ppt import Ppt
+from repro.metrics.slowdown import SlowdownStats, ideal_fct
+from repro.transport.base import Flow
+from repro.transport.dctcp import Dctcp
+
+
+def test_ideal_fct_components():
+    topo = make_star()
+    flow = Flow(0, 0, 1, 143_600, 0.0)  # 100 payload packets
+    ideal = ideal_fct(flow, topo.network)
+    base = topo.network.base_delay(0, 1)
+    assert ideal > base
+    serialization = ideal - base
+    expected = 143_600 * (1 + 64 / 1436) * 8 / topo.edge_rate
+    assert serialization == pytest.approx(expected)
+
+
+def test_solo_flow_slowdown_near_one():
+    """An uncontended NDP-style ideal case: DCTCP solo still pays slow
+    start, so its slowdown is >1 but bounded for a BDP-scale flow."""
+    flow, ctx, topo = run_single_flow(Dctcp(), 150_000, until=2.0)
+    stats = SlowdownStats.from_flows([flow], topo.network)
+    assert stats.n_flows == 1
+    assert 1.0 <= stats.overall_avg <= 10.0
+
+
+def test_ppt_slowdown_below_dctcp_solo():
+    f_d, _, topo_d = run_single_flow(Dctcp(), 80_000)
+    f_p, _, topo_p = run_single_flow(Ppt(), 80_000)
+    s_d = SlowdownStats.from_flows([f_d], topo_d.network)
+    s_p = SlowdownStats.from_flows([f_p], topo_p.network)
+    assert s_p.overall_avg < s_d.overall_avg
+
+
+def test_incomplete_flows_ignored():
+    topo = make_star()
+    stats = SlowdownStats.from_flows([Flow(0, 0, 1, 1000, 0.0)],
+                                     topo.network)
+    assert stats.n_flows == 0
+    assert math.isnan(stats.overall_avg)
+
+
+def test_slowdown_floor_is_one():
+    """Measurement noise can make fct marginally under ideal (ideal uses
+    the full serialization including overhead); slowdown is clamped."""
+    topo = make_star()
+    flow = Flow(0, 0, 1, 1000, 0.0)
+    flow.finish_time = 1e-9  # absurdly fast
+    stats = SlowdownStats.from_flows([flow], topo.network)
+    assert stats.overall_avg == 1.0
+
+
+def test_row_keys():
+    flow, ctx, topo = run_single_flow(Dctcp(), 150_000, until=2.0)
+    row = SlowdownStats.from_flows([flow], topo.network).row()
+    assert set(row) == {"flows", "slowdown_avg", "slowdown_p99",
+                        "small_slowdown_avg", "small_slowdown_p99",
+                        "large_slowdown_avg"}

@@ -1,0 +1,68 @@
+"""Tests for the sweep helpers and result archival."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import all_to_all_scenario, sim_fabric
+from repro.experiments.sweeps import (
+    SweepPoint,
+    load_sweep_variants,
+    points_to_json,
+    rows_from_json,
+    rows_to_json,
+    sweep,
+)
+from repro.transport.dctcp import Dctcp
+from repro.workloads.distributions import WEB_SEARCH
+
+
+def tiny_factory(load=0.4):
+    return all_to_all_scenario(
+        f"sweep-{load}", WEB_SEARCH, load=load, n_flows=10,
+        size_cap=200_000, fabric=sim_fabric(n_leaf=2, n_spine=2,
+                                            hosts_per_leaf=2))
+
+
+def test_load_sweep_variants():
+    assert load_sweep_variants([0.4, 0.6]) == [{"load": 0.4}, {"load": 0.6}]
+
+
+def test_sweep_runs_grid():
+    progress = []
+    points = sweep({"dctcp": Dctcp}, tiny_factory,
+                   load_sweep_variants([0.3, 0.5]),
+                   progress=progress.append)
+    assert len(points) == 2
+    assert len(progress) == 2
+    for point in points:
+        assert point.scheme == "dctcp"
+        assert point.completed == 10
+        assert point.stats.overall_avg > 0
+
+
+def test_sweep_point_row_flattens():
+    points = sweep({"dctcp": Dctcp}, tiny_factory, [{"load": 0.4}])
+    row = points[0].row()
+    assert row["scheme"] == "dctcp"
+    assert row["load"] == 0.4
+    assert row["completed"] == "10/10"
+    assert "overall_avg_ms" in row
+
+
+def test_rows_round_trip(tmp_path):
+    rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+    path = tmp_path / "rows.json"
+    rows_to_json(rows, path, meta={"note": "test"})
+    loaded = rows_from_json(path)
+    assert loaded == rows
+    payload = json.loads(path.read_text())
+    assert payload["meta"]["note"] == "test"
+
+
+def test_points_to_json(tmp_path):
+    points = sweep({"dctcp": Dctcp}, tiny_factory, [{"load": 0.4}])
+    path = tmp_path / "points.json"
+    points_to_json(points, path)
+    loaded = rows_from_json(path)
+    assert loaded[0]["scheme"] == "dctcp"

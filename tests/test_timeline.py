@@ -1,0 +1,66 @@
+"""Tests for the sender timeline recorder."""
+
+import math
+
+from conftest import make_ctx, make_star
+from repro.core.ppt import Ppt, PptSender
+from repro.metrics.timeline import SenderTimeline
+from repro.transport.base import Flow
+from repro.transport.dctcp import Dctcp, DctcpSender
+from repro.transport.window import WindowReceiver
+
+
+def run_with_timeline(sender_cls, size=1_500_000, contender=True, **kwargs):
+    topo = make_star(3)
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 2, size, 0.0)
+    if sender_cls is PptSender:
+        sender = PptSender(flow, ctx, Ppt())
+        from repro.core.ppt import PptReceiver
+        receiver = PptReceiver(flow, ctx)
+    else:
+        sender = sender_cls(flow, ctx)
+        receiver = WindowReceiver(flow, ctx)
+    ctx.network.attach(0, 0, 2, sender, receiver)
+    timeline = SenderTimeline(topo.sim, sender, interval=5e-6)
+    sender.start()
+    if contender:
+        scheme = Dctcp()
+        scheme.start_flow(Flow(1, 1, 2, size, 0.0), ctx)
+    topo.sim.run(until=5.0)
+    assert flow.completed
+    return timeline
+
+
+def test_records_cwnd_series():
+    timeline = run_with_timeline(DctcpSender)
+    assert len(timeline.samples) > 10
+    assert all(s.cwnd >= 1.0 for s in timeline.samples)
+    assert timeline.max_cwnd() > 10.0
+
+
+def test_sampling_stops_at_completion():
+    timeline = run_with_timeline(DctcpSender, size=100_000, contender=False)
+    last = timeline.samples[-1].time
+    # no samples long after the (sub-ms) flow completed
+    assert last < 5e-3
+
+
+def test_dctcp_sawtooth_under_contention():
+    timeline = run_with_timeline(DctcpSender)
+    assert timeline.sawtooth_cuts() >= 1  # at least one window cut
+    alphas = [s.alpha for s in timeline.samples if s.alpha is not None]
+    assert alphas and min(alphas) < 1.0  # alpha actually evolved
+
+
+def test_ppt_timeline_records_lcp_state():
+    timeline = run_with_timeline(PptSender)
+    duty = timeline.lcp_duty_cycle()
+    assert 0.0 < duty <= 1.0  # the LCP loop was active part of the time
+    loops = [s.lcp_loops for s in timeline.samples if s.lcp_loops is not None]
+    assert max(loops) >= 1
+
+
+def test_duty_cycle_nan_for_plain_sender():
+    timeline = run_with_timeline(DctcpSender, size=100_000, contender=False)
+    assert math.isnan(timeline.lcp_duty_cycle())

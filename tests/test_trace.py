@@ -1,0 +1,87 @@
+"""Tests for the packet-trace instrumentation."""
+
+import math
+
+from conftest import make_ctx, make_star
+from repro.sim.network import QueueConfig
+from repro.sim.topology import star
+from repro.sim.trace import DropTracer, MarkTracer
+from repro.transport.base import Flow
+from repro.transport.dctcp import Dctcp
+from repro.core.ppt import Ppt
+from repro.units import gbps, us
+
+
+def lossy_topo():
+    qcfg = QueueConfig(buffer_bytes=15_000)
+    return star(3, rate=gbps(40), prop_delay=us(4), qcfg=qcfg)
+
+
+def test_drop_tracer_records_drops():
+    topo = lossy_topo()
+    tracer = DropTracer.attach(topo.network)
+    ctx = make_ctx(topo)
+    scheme = Dctcp()
+    flows = [Flow(0, 0, 2, 200_000, 0.0), Flow(1, 1, 2, 200_000, 0.0)]
+    for f in flows:
+        scheme.start_flow(f, ctx)
+    topo.sim.run(until=2.0)
+    assert len(tracer) == topo.network.total_drops()
+    assert len(tracer) > 0
+    record = tracer.records[0]
+    assert record.port
+    assert record.flow_id in (0, 1)
+
+
+def test_drop_tracer_summaries():
+    topo = lossy_topo()
+    tracer = DropTracer.attach(topo.network)
+    ctx = make_ctx(topo)
+    scheme = Dctcp()
+    flows = [Flow(0, 0, 2, 200_000, 0.0), Flow(1, 1, 2, 200_000, 0.0)]
+    for f in flows:
+        scheme.start_flow(f, ctx)
+    topo.sim.run(until=2.0)
+    by_priority = tracer.summary_by_priority()
+    assert sum(by_priority.values()) == len(tracer)
+    by_port = tracer.summary_by_port()
+    assert sum(by_port.values()) == len(tracer)
+    by_kind = tracer.summary_by_kind()
+    assert by_kind.get("DATA", 0) == len(tracer)  # only data dropped here
+    per_flow = (len(tracer.drops_for_flow(0)) + len(tracer.drops_for_flow(1)))
+    assert per_flow == len(tracer)
+
+
+def test_drop_tracer_lcp_share():
+    topo = lossy_topo()
+    tracer = DropTracer.attach(topo.network)
+    ctx = make_ctx(topo)
+    scheme = Ppt()
+    flows = [Flow(0, 0, 2, 200_000, 0.0), Flow(1, 1, 2, 200_000, 0.0)]
+    for f in flows:
+        scheme.start_flow(f, ctx)
+    topo.sim.run(until=2.0)
+    share = tracer.lcp_share()
+    assert 0.0 <= share <= 1.0
+
+
+def test_drop_tracer_empty_lcp_share_nan():
+    topo = make_star(3)
+    tracer = DropTracer.attach(topo.network)
+    assert math.isnan(tracer.lcp_share())
+
+
+def test_mark_tracer_counts_new_marks_only():
+    topo = make_star(3)
+    ctx = make_ctx(topo)
+    scheme = Dctcp()
+    flow = Flow(0, 0, 2, 1_000_000, 0.0)
+    scheme.start_flow(flow, ctx)
+    topo.sim.run(until=0.5)
+    tracer = MarkTracer(topo.network)  # baseline after the first run
+    assert tracer.total() == 0
+    flow2 = Flow(1, 1, 2, 1_000_000, 0.0)
+    scheme.start_flow(flow2, ctx)
+    topo.sim.run(until=2.0)
+    assert tracer.total() == (topo.network.total_marked()
+                              - sum(tracer._baseline.values()))

@@ -1,0 +1,133 @@
+"""Property-based tests for the reliable window machinery.
+
+These drive the sender with adversarial ACK orderings and lossy fabrics
+and check the invariants that every transport in the repository depends
+on: no phantom deliveries, monotone cumulative ack, completion exactly
+once, and loss-recovery convergence.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_ctx, make_star
+from repro.sim.network import QueueConfig
+from repro.sim.packet import ACK, Packet
+from repro.sim.topology import star
+from repro.transport.base import Flow
+from repro.transport.dctcp import Dctcp
+from repro.transport.window import WindowReceiver, WindowSender
+from repro.units import gbps, us
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=39), min_size=1,
+                max_size=120))
+def test_receiver_cum_is_monotone_and_exact(seqs):
+    """Whatever the arrival order/duplication, cum equals the smallest
+    missing index and delivered is exactly the set of arrived seqs."""
+    topo = make_star()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, 40 * 1436, 0.0)
+    receiver = WindowReceiver(flow, ctx)
+    ctx.network.send_control = lambda pkt: None  # swallow ACKs
+    cums = []
+    for seq in seqs:
+        receiver.on_packet(Packet(0, 0, 1, seq, 1500))
+        cums.append(receiver.cum)
+    assert receiver.delivered == set(seqs)
+    expected_cum = 0
+    while expected_cum in receiver.delivered:
+        expected_cum += 1
+    assert receiver.cum == expected_cum
+    assert cums == sorted(cums)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=29), min_size=1,
+                max_size=80))
+def test_sender_never_double_counts_acks(ack_seqs):
+    """Replayed/duplicated ACKs never inflate the delivered set or crash
+    the sender."""
+    topo = make_star()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, 30 * 1436, 0.0)
+    sender = WindowSender(flow, ctx)
+    sender.start()
+    for seq in ack_seqs:
+        ack = Packet(0, 1, 0, seq, 64, kind=ACK)
+        ack.ack_seq = 0
+        ack.sent_at = 0.0
+        sender.on_packet(ack)
+    assert sender.delivered <= set(range(30))
+    assert len(sender.delivered) <= 30
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.floats(min_value=0.02, max_value=0.25))
+def test_flow_completes_under_random_loss(seed, drop_rate):
+    """A flow completes despite i.i.d. packet drops at the bottleneck
+    (SACK recovery + RTO converge)."""
+    topo = make_star(3)
+    ctx = make_ctx(topo, min_rto=0.5e-3)
+    flow = Flow(0, 0, 2, 120_000, 0.0)
+    scheme = Dctcp()
+    scheme.start_flow(flow, ctx)
+
+    rng = random.Random(seed)
+    downlink = topo.network.port_to_host(2)
+    mux = downlink.mux
+    original_enqueue = mux.__class__.enqueue
+
+    class LossyMux:
+        pass
+
+    # wrap enqueue via the drop hook mechanism: emulate random loss by
+    # shrinking the buffer for randomly chosen instants is fiddly;
+    # instead, drop at the host dispatch layer:
+    receiver_host = topo.network.hosts[2]
+    original_receive = receiver_host.__class__.receive
+
+    def lossy_receive(self, pkt):
+        if pkt.kind == 0 and rng.random() < drop_rate:  # DATA
+            return  # silently dropped on the last hop
+        original_receive(self, pkt)
+
+    receiver_host.__class__.receive = lossy_receive
+    try:
+        topo.sim.run(until=2.0)
+    finally:
+        receiver_host.__class__.receive = original_receive
+    assert flow.completed
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=500_000))
+def test_packet_count_matches_size(size):
+    topo = make_star()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, size, 0.0)
+    n = flow.n_packets(ctx.config.mss)
+    payload = ctx.config.payload_per_packet()
+    assert (n - 1) * payload < size <= n * payload or size <= payload
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=200_000))
+def test_total_payload_conserved(size):
+    """Sum of packet payloads equals the flow size (last packet short)."""
+    topo = make_star()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, size, 0.0)
+    sender = WindowSender(flow, ctx)
+    payload = ctx.config.payload_per_packet()
+    header = ctx.config.mss - payload
+    total = 0
+    for seq in range(sender.n_packets):
+        pkt = sender.build_packet(seq)
+        total += pkt.size - header
+    assert total >= size  # padding only on the (tiny) last packet
+    assert total - size < payload
