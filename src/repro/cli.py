@@ -20,6 +20,8 @@ Examples
 --------
 
     python -m repro run --schemes ppt dctcp --workload web-search --load 0.5
+    python -m repro run --schemes ppt dctcp \
+        --fault flap:leaf0->spine0:0.005:0.002:0.004:3 --health
     python -m repro figure fig12 --workload data-mining
     python -m repro list-schemes
 """
@@ -34,6 +36,7 @@ from .core.ppt import Ppt
 from .core.ppt_hpcc import PptHpcc
 from .core.ppt_swift import PptSwift
 from .experiments import figures, tables
+from .faults import FaultPlan
 from .experiments.runner import format_table, run
 from .experiments.scenarios import (
     HOMA_RTT_BYTES_SIM,
@@ -124,30 +127,61 @@ def _cmd_list_workloads(_args) -> int:
     return 0
 
 
+def _health_label(health) -> str:
+    if health.stalled:
+        return "STALLED"
+    if health.event_budget_exceeded:
+        return "BUDGET"
+    if health.completed < health.n_flows:
+        return "PARTIAL"
+    return "ok"
+
+
 def _cmd_run(args) -> int:
     cdf = WORKLOADS[args.workload]
+    faults = None
+    if args.fault:
+        try:
+            faults = FaultPlan.parse(args.fault, seed=args.fault_seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.pattern == "incast":
         scenario = incast_scenario(
             "cli", cdf, n_senders=args.incast_senders, load=args.load,
-            n_flows=args.flows, size_cap=args.size_cap, seed=args.seed)
+            n_flows=args.flows, size_cap=args.size_cap, seed=args.seed,
+            faults=faults, event_budget=args.event_budget)
     else:
         scenario = all_to_all_scenario(
             "cli", cdf, load=args.load, n_flows=args.flows,
-            size_cap=args.size_cap, seed=args.seed)
+            size_cap=args.size_cap, seed=args.seed,
+            faults=faults, event_budget=args.event_budget)
     rows = []
     for name in args.schemes:
         scheme = SCHEME_FACTORIES[name]()
-        result = run(scheme, scenario)
+        try:
+            result = run(scheme, scenario)
+        except KeyError as exc:
+            # bad port name/glob in a fault spec surfaces at apply time
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
         stats = result.stats
-        rows.append({
+        row = {
             "scheme": name,
             "flows": f"{result.completed}/{len(result.flows)}",
             "overall_avg_ms": stats.overall_avg * 1e3,
             "small_avg_ms": stats.small_avg * 1e3,
             "small_p99_ms": stats.small_p99 * 1e3,
             "large_avg_ms": stats.large_avg * 1e3,
-        })
-        print(f"done: {name}", file=sys.stderr)
+        }
+        if faults is not None or args.health:
+            row["rtx"] = result.health.retransmits_total
+            row["rtos"] = result.health.rtos_total
+            row["health"] = _health_label(result.health)
+        rows.append(row)
+        print(f"done: {name} ({result.health.summary()})", file=sys.stderr)
+        if result.health.stalled:
+            print(f"  stall: {result.health.stall_reason}", file=sys.stderr)
     print(format_table(rows))
     return 0
 
@@ -192,6 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--pattern", choices=["all-to-all", "incast"],
                        default="all-to-all")
     run_p.add_argument("--incast-senders", type=int, default=16)
+    run_p.add_argument(
+        "--fault", action="append", metavar="SPEC",
+        help="fault spec (repeatable): down:PORT:START:DURATION, "
+             "flap:PORT:START:DOWN:UP[:CYCLES], loss:PORT:RATE[:START[:END]], "
+             "corrupt:PORT:RATE[:START[:END]], degrade:PORT:FACTOR:START[:END]; "
+             "PORT is a name or glob like 'leaf0->spine*'")
+    run_p.add_argument("--fault-seed", type=int, default=0)
+    run_p.add_argument("--event-budget", type=int, default=None,
+                       help="abort a run after this many simulator events")
+    run_p.add_argument("--health", action="store_true",
+                       help="include run-health columns in the output table")
     run_p.set_defaults(fn=_cmd_run)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")

@@ -1,11 +1,21 @@
 """Experiment harness: run one scheme over one scenario, collect results.
 
-A :class:`Scenario` bundles a topology factory, a flow list factory and a
-transport config; :func:`run` builds a fresh fabric, lets the scheme
-configure it (trimming, spraying, selective drop), schedules every flow's
-start, drains the simulator and returns a :class:`RunResult` with FCT
-statistics plus the live network for deeper inspection (samplers,
-efficiency, CPU proxies).
+A :class:`Scenario` bundles a topology factory, a flow list factory, a
+transport config and (optionally) a :class:`~repro.faults.FaultPlan`;
+:func:`run` builds a fresh fabric, lets the scheme configure it
+(trimming, spraying, selective drop), applies the fault plan, schedules
+every flow's start, drains the simulator under a run-health watchdog and
+returns a :class:`RunResult` with FCT statistics, a structured
+:class:`RunHealth` (completion rate, retransmit/RTO counts, stall
+diagnosis, active faults) and the live network for deeper inspection.
+
+The watchdog replaces the old silent spin-to-``max_time``: it stops as
+soon as the event heap empties (nothing can ever make progress again),
+enforces an optional per-run event budget, and detects stalls — no new
+completions *and* no new deliveries across a sliding window — while
+giving fault windows (plus an RTO-cap-sized grace period) the benefit of
+the doubt, since riding out a fault is precisely what transports are
+being tested on.
 
 Because every piece of randomness is seeded, running the same scenario
 twice gives identical flows and identical packet-level behaviour — which
@@ -19,7 +29,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.hypothetical import HypotheticalDctcp, MwRecordingDctcp
+from ..faults.plan import ActiveFaults, FaultPlan
 from ..metrics.fct import FctStats
+from ..sim.network import Network
 from ..sim.topology import Topology
 from ..transport.base import Flow, Scheme, TransportConfig, TransportContext
 
@@ -31,6 +43,8 @@ class Scenario:
     ``build_topology`` returns a fresh :class:`Topology` (with its own
     simulator);  ``build_flows`` receives that topology and returns the
     flow list (so patterns can reference real host ids and rates).
+    ``faults`` re-runs the identical workload under a deterministic
+    fault schedule; ``event_budget`` bounds runaway runs.
     """
 
     name: str
@@ -38,9 +52,63 @@ class Scenario:
     build_flows: Callable[[Topology], List[Flow]]
     config: TransportConfig = field(default_factory=TransportConfig)
     max_time: float = 10.0  # simulated-seconds safety stop
+    faults: Optional[FaultPlan] = None
+    event_budget: Optional[int] = None  # max simulator events per run
+    stall_slices: int = 40  # watchdog window, in drain slices
 
     def describe(self) -> str:
         return self.name
+
+
+@dataclass
+class RunHealth:
+    """Structured diagnosis of how (and whether) a run finished.
+
+    Replaces the old silent timeout: every :class:`RunResult` carries
+    one of these, so a partial ``FctStats`` always comes with the *why*
+    — stalled behind a dead link, out of event budget, or simply still
+    progressing at ``max_time``.
+    """
+
+    n_flows: int = 0
+    completed: int = 0
+    stalled: bool = False
+    stall_time: Optional[float] = None
+    stall_reason: Optional[str] = None
+    dead_links: List[str] = field(default_factory=list)
+    faults_active_at_stall: List[str] = field(default_factory=list)
+    fault_windows: List[str] = field(default_factory=list)
+    fault_drops: int = 0
+    corrupted_pkts: int = 0
+    retransmits_total: int = 0
+    rtos_total: int = 0
+    retransmits_by_flow: Dict[int, int] = field(default_factory=dict)
+    event_budget_exceeded: bool = False
+    events_run: int = 0
+    sim_time: float = 0.0
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / max(1, self.n_flows)
+
+    @property
+    def ok(self) -> bool:
+        """All flows completed without stalling or budget exhaustion."""
+        return (self.completed == self.n_flows and not self.stalled
+                and not self.event_budget_exceeded)
+
+    def summary(self) -> str:
+        parts = [f"{self.completed}/{self.n_flows} flows",
+                 f"{self.retransmits_total} rtx", f"{self.rtos_total} RTOs"]
+        if self.fault_windows:
+            parts.append(f"{len(self.fault_windows)} fault window(s), "
+                         f"{self.fault_drops} fault drops")
+        if self.stalled:
+            parts.append(f"STALLED @ {self.stall_time:.6g}s: "
+                         f"{self.stall_reason}")
+        if self.event_budget_exceeded:
+            parts.append("event budget exceeded")
+        return "; ".join(parts)
 
 
 @dataclass
@@ -52,6 +120,7 @@ class RunResult:
     topology: Topology
     ctx: TransportContext
     wall_events: int
+    health: RunHealth = field(default_factory=RunHealth)
 
     @property
     def completed(self) -> int:
@@ -66,6 +135,42 @@ class RunResult:
                 f"{self.completed}/{len(self.flows)} flows, {self.stats}")
 
 
+def _progress_signature(ctx: TransportContext, network: Network) -> tuple:
+    """Snapshot of forward progress: completions, every endpoint's
+    delivered-packet count (senders and receivers both keep ``delivered``
+    sets; receiver-driven schemes' per-message state counts through the
+    same attribute) and the number of registered endpoints (so a newly
+    started flow counts as progress).  If this is unchanged across the
+    watchdog window, nothing useful is happening — retransmit storms and
+    idling RTO timers keep the heap warm but do not move it."""
+    delivered = 0
+    endpoints = 0
+    for host in network.hosts.values():
+        endpoints += len(host.endpoints)
+        for endpoint in host.endpoints.values():
+            d = getattr(endpoint, "delivered", None)
+            if d is not None:
+                delivered += len(d)
+    return (len(ctx.completed), delivered, endpoints)
+
+
+def _collect_flow_counters(network: Network, health: RunHealth) -> None:
+    """Harvest retransmit/RTO counters from live transport endpoints."""
+    seen = set()
+    for host in network.hosts.values():
+        for flow_id, endpoint in host.endpoints.items():
+            if id(endpoint) in seen:
+                continue
+            seen.add(id(endpoint))
+            rtx = getattr(endpoint, "pkts_retransmitted", None)
+            if rtx is None:
+                continue
+            health.retransmits_by_flow[flow_id] = (
+                health.retransmits_by_flow.get(flow_id, 0) + rtx)
+            health.retransmits_total += rtx
+            health.rtos_total += getattr(endpoint, "rtos_fired", 0)
+
+
 def run(
     scheme: Scheme,
     scenario: Scenario,
@@ -73,7 +178,8 @@ def run(
     instruments: Optional[Callable[[Topology], object]] = None,
 ) -> RunResult:
     """Execute ``scheme`` on ``scenario``; returns results when all flows
-    finish or the safety stop is reached.
+    finish or the watchdog stops the run (stall, event budget, heap
+    exhaustion, ``max_time``).
 
     ``instruments`` may attach samplers to the freshly built topology
     before any flow starts; whatever it returns is stored on the result's
@@ -81,22 +187,21 @@ def run(
     """
     topo = scenario.build_topology()
     scheme.configure_network(topo.network)
+    faults: Optional[ActiveFaults] = None
+    if scenario.faults is not None:
+        faults = scenario.faults.apply(topo.network, topo.sim)
     flows = scenario.build_flows(topo)
     ctx = TransportContext(topo.sim, topo.network, scenario.config)
+    if faults is not None:
+        ctx.extra["faults"] = faults
     if instruments is not None:
         ctx.extra["instruments"] = instruments(topo)
 
     for flow in flows:
         topo.sim.schedule_at(flow.start_time, scheme.start_flow, flow, ctx)
 
-    n_flows = len(flows)
-    # Drain in slices so we can stop as soon as everything completes
-    # (RTO timers would otherwise keep the heap warm until max_time).
-    slice_len = max(scenario.max_time / 200.0, 1e-4)
-    t = 0.0
-    while len(ctx.completed) < n_flows and t < scenario.max_time:
-        t += slice_len
-        topo.sim.run(until=t)
+    health = _drain(topo.sim, ctx, flows, scenario, faults, topo.network)
+    _collect_flow_counters(topo.network, health)
 
     stats = FctStats.from_flows(flows)
     return RunResult(
@@ -107,7 +212,106 @@ def run(
         topology=topo,
         ctx=ctx,
         wall_events=topo.sim.events_run,
+        health=health,
     )
+
+
+def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
+           faults: Optional[ActiveFaults], network: Network) -> RunHealth:
+    """Drain the simulator in slices under the run-health watchdog."""
+    n_flows = len(flows)
+    health = RunHealth(n_flows=n_flows)
+    if faults is not None:
+        health.fault_windows = faults.describe_windows()
+
+    # Drain in slices so we can stop as soon as everything completes
+    # (RTO timers would otherwise keep the heap warm until max_time).
+    slice_len = max(scenario.max_time / 200.0, 1e-4)
+    max_rto = getattr(scenario.config, "max_rto", 0.25)
+    # The watchdog never cries stall before the transport had a chance
+    # to recover: at least `stall_slices` quiet slices AND a few backed-
+    # off RTOs' worth of quiet time.
+    stall_window = max(scenario.stall_slices * slice_len, 4.0 * max_rto)
+    grace = 2.0 * max_rto
+
+    t = 0.0
+    last_signature = None
+    last_progress_t = 0.0
+    heap_empty = False
+    watchdog_tripped = False
+    while len(ctx.completed) < n_flows and t < scenario.max_time:
+        t += slice_len
+        max_events = None
+        if scenario.event_budget is not None:
+            remaining = scenario.event_budget - sim.events_run
+            if remaining <= 0:
+                health.event_budget_exceeded = True
+                break
+            max_events = remaining
+        sim.run(until=t, max_events=max_events)
+        if (scenario.event_budget is not None
+                and sim.events_run >= scenario.event_budget):
+            health.event_budget_exceeded = True
+            break
+        if sim.peek_time() is None:
+            # Event heap exhausted: nothing can ever happen again, so
+            # idling through empty slices until max_time is pointless.
+            heap_empty = True
+            break
+        signature = _progress_signature(ctx, network)
+        if signature != last_signature:
+            last_signature = signature
+            last_progress_t = t
+        elif (t - last_progress_t >= stall_window
+              and (faults is None
+                   or not faults.any_active_or_recent(sim.now, grace))
+              and any(f.start_time <= sim.now and not f.completed
+                      for f in flows)):
+            # a quiet fabric is only a stall if some *started* flow is
+            # stuck — waiting for a sparse arrival schedule is not
+            watchdog_tripped = True
+            break
+
+    health.completed = len(ctx.completed)
+    health.events_run = sim.events_run
+    health.sim_time = sim.now
+
+    if health.completed < n_flows and not health.event_budget_exceeded:
+        quiet_for = t - last_progress_t
+        if heap_empty:
+            health.stalled = True
+            health.stall_time = sim.now
+            health.stall_reason = (
+                f"event heap empty with "
+                f"{n_flows - health.completed} flow(s) incomplete")
+        elif watchdog_tripped or (
+                quiet_for >= stall_window
+                and any(f.start_time <= sim.now and not f.completed
+                        for f in flows)):
+            health.stalled = True
+            health.stall_time = sim.now
+            dead = faults.down_links() if faults is not None else []
+            health.dead_links = dead
+            if faults is not None:
+                health.faults_active_at_stall = faults.active_faults()
+            if dead:
+                health.stall_reason = (
+                    f"no progress for {quiet_for:.6g}s; "
+                    f"link(s) down: {', '.join(dead)}")
+            elif health.faults_active_at_stall:
+                health.stall_reason = (
+                    f"no progress for {quiet_for:.6g}s; active faults: "
+                    f"{'; '.join(health.faults_active_at_stall)}")
+            else:
+                health.stall_reason = (
+                    f"no progress for {quiet_for:.6g}s; no faults active")
+        else:
+            health.stall_reason = "max_time reached while still progressing"
+
+    if faults is not None:
+        health.fault_drops = faults.pkts_dropped
+        health.corrupted_pkts = faults.pkts_corrupted
+    return health
 
 
 def run_all(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from ..faults.plan import FaultPlan
 from ..sim.network import QueueConfig
 from ..sim.topology import Topology, leaf_spine, star
 from ..transport.base import Flow, TransportConfig
@@ -147,6 +148,8 @@ def all_to_all_scenario(
     size_cap: Optional[int] = DEFAULT_SIZE_CAP,
     seed: int = 7,
     max_time: float = 10.0,
+    faults: Optional[FaultPlan] = None,
+    event_budget: Optional[int] = None,
 ) -> Scenario:
     """All-to-all Poisson traffic on a fabric (the §6.2 shape)."""
     fabric = fabric or sim_fabric()
@@ -158,7 +161,8 @@ def all_to_all_scenario(
             n_senders=topo.n_hosts, seed=seed, size_cap=size_cap)
 
     return Scenario(name, fabric, build_flows,
-                    config=config or sim_config(), max_time=max_time)
+                    config=config or sim_config(), max_time=max_time,
+                    faults=faults, event_budget=event_budget)
 
 
 def incast_scenario(
@@ -174,6 +178,8 @@ def incast_scenario(
     seed: int = 11,
     max_time: float = 20.0,
     receiver: int = 0,
+    faults: Optional[FaultPlan] = None,
+    event_budget: Optional[int] = None,
 ) -> Scenario:
     """N-to-1 incast: the load is defined against the receiver downlink."""
     fabric = fabric or sim_fabric()
@@ -186,7 +192,8 @@ def incast_scenario(
             n_senders=1, seed=seed, size_cap=size_cap)
 
     return Scenario(name, fabric, build_flows,
-                    config=config or sim_config(), max_time=max_time)
+                    config=config or sim_config(), max_time=max_time,
+                    faults=faults, event_budget=event_budget)
 
 
 def two_to_one_scenario(

@@ -1,0 +1,48 @@
+"""Fault injection: deterministic network-misbehaviour schedules.
+
+PPT's claim is that a pragmatic transport stays efficient when the
+network misbehaves; this package lets every scenario in the suite be
+re-run under link blackouts/flaps, seeded packet loss or corruption,
+and port rate degradation — without subclassing any simulator
+primitive.  See ``docs/fault-injection.md`` for the full catalogue.
+
+Quick start::
+
+    from repro.faults import FaultPlan, LinkDown
+
+    scenario.faults = FaultPlan([LinkDown("leaf0->spine0", 0.005, 0.002)])
+    result = run(Dctcp(), scenario)
+    print(result.health.summary())
+"""
+
+from .injectors import (
+    CorruptionInjector,
+    Injector,
+    LinkFaultInjector,
+    LossInjector,
+    PortDegrader,
+)
+from .plan import (
+    ActiveFaults,
+    FaultPlan,
+    LinkDown,
+    LinkFlap,
+    PacketCorruption,
+    PacketLoss,
+    RateDegrade,
+)
+
+__all__ = [
+    "ActiveFaults",
+    "CorruptionInjector",
+    "FaultPlan",
+    "Injector",
+    "LinkDown",
+    "LinkFlap",
+    "LinkFaultInjector",
+    "LossInjector",
+    "PacketCorruption",
+    "PacketLoss",
+    "PortDegrader",
+    "RateDegrade",
+]

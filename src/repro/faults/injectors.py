@@ -1,0 +1,228 @@
+"""Fault injectors: objects that sit on a port's fault chain.
+
+Every injector wraps an existing :class:`~repro.sim.link.Port` via the
+two chain-of-responsibility hooks the port exposes (see
+``Port.attach_fault``):
+
+* ``admit(pkt)``    — packet offered to the port; returning False drops
+  it before it is enqueued (ingress loss, dead link).
+* ``transmit(pkt)`` — serialization just finished; returning False loses
+  the packet on the wire (dead link), returning True after mutating the
+  packet models on-the-wire corruption.
+
+Injectors never subclass the simulator primitives and attach lazily, so
+a run without faults pays nothing: ``Port.fault_chain`` stays ``None``
+and the hot path takes a single predictable branch.
+
+All randomness is drawn from per-injector ``random.Random`` instances
+seeded by the :class:`~repro.faults.plan.FaultPlan`, and random numbers
+are only consumed while the injector's window is active — so the same
+plan over the same scenario reproduces the same packet-level behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.link import Port
+from ..sim.packet import DATA, Packet
+
+INFINITY = float("inf")
+
+
+class Injector:
+    """Base injector: transparent on both hooks, tracks its port."""
+
+    def __init__(self, sim: Simulator, port: Port) -> None:
+        self.sim = sim
+        self.port = port
+        self.pkts_dropped = 0
+        self.attached = False
+
+    def attach(self) -> "Injector":
+        if not self.attached:
+            self.port.attach_fault(self)
+            self.attached = True
+        return self
+
+    def detach(self) -> None:
+        if self.attached:
+            self.port.detach_fault(self)
+            self.attached = False
+
+    # -- chain hooks ------------------------------------------------------
+
+    def admit(self, pkt: Packet) -> bool:
+        return True
+
+    def transmit(self, pkt: Packet) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"{type(self).__name__} on {self.port.name}"
+
+
+class LinkFaultInjector(Injector):
+    """Takes a port down and up on schedule (blackouts and flaps).
+
+    While down, newly offered packets are dropped at admission, the
+    packet being serialized (if any) is lost on the wire, and everything
+    waiting in the mux is flushed — exactly what a yanked cable does.
+    """
+
+    def __init__(self, sim: Simulator, port: Port) -> None:
+        super().__init__(sim, port)
+        self.is_down = False
+        self.down_intervals: List[List[float]] = []  # [start, end|inf]
+        self.transitions = 0
+
+    # -- schedule targets -------------------------------------------------
+
+    def down(self) -> None:
+        if self.is_down:
+            return
+        self.is_down = True
+        self.transitions += 1
+        self.down_intervals.append([self.sim.now, INFINITY])
+        self.pkts_dropped += self.port.mux.flush()
+
+    def up(self) -> None:
+        if not self.is_down:
+            return
+        self.is_down = False
+        self.transitions += 1
+        self.down_intervals[-1][1] = self.sim.now
+
+    def schedule_blackout(self, start: float, duration: float) -> None:
+        self.sim.schedule_at(start, self.down)
+        self.sim.schedule_at(start + duration, self.up)
+
+    def schedule_flap(self, start: float, down_time: float,
+                      up_time: float, cycles: int) -> None:
+        t = start
+        for _ in range(cycles):
+            self.sim.schedule_at(t, self.down)
+            self.sim.schedule_at(t + down_time, self.up)
+            t += down_time + up_time
+
+    # -- chain hooks ------------------------------------------------------
+
+    def admit(self, pkt: Packet) -> bool:
+        if self.is_down:
+            self.pkts_dropped += 1
+            return False
+        return True
+
+    def transmit(self, pkt: Packet) -> bool:
+        if self.is_down:
+            self.pkts_dropped += 1
+            return False
+        return True
+
+    def describe(self) -> str:
+        state = "down" if self.is_down else "up"
+        return f"link {self.port.name} {state}"
+
+
+class LossInjector(Injector):
+    """Seeded Bernoulli per-packet drop at a port within a time window."""
+
+    def __init__(self, sim: Simulator, port: Port, rate: float,
+                 rng: random.Random, start: float = 0.0,
+                 end: float = INFINITY) -> None:
+        super().__init__(sim, port)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.rng = rng
+        self.start = start
+        self.end = end
+
+    def admit(self, pkt: Packet) -> bool:
+        now = self.sim.now
+        if self.start <= now < self.end and self.rng.random() < self.rate:
+            self.pkts_dropped += 1
+            return False
+        return True
+
+    def describe(self) -> str:
+        return f"loss {self.rate:.3g} on {self.port.name}"
+
+
+class CorruptionInjector(Injector):
+    """Seeded Bernoulli per-packet corruption on the wire.
+
+    Corrupted DATA packets still consume link capacity and propagation
+    delay but are discarded by the receiving host's checksum
+    (``Host.receive``), so the sender must recover via SACK/RTO.  Only
+    payload-bearing packets are corrupted; 64-byte headers/control
+    packets are far less exposed and keeping them clean avoids
+    confounding NDP's trimming signal.
+    """
+
+    def __init__(self, sim: Simulator, port: Port, rate: float,
+                 rng: random.Random, start: float = 0.0,
+                 end: float = INFINITY) -> None:
+        super().__init__(sim, port)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.rng = rng
+        self.start = start
+        self.end = end
+        self.pkts_corrupted = 0
+
+    def transmit(self, pkt: Packet) -> bool:
+        now = self.sim.now
+        if (pkt.kind == DATA and not pkt.corrupted
+                and self.start <= now < self.end
+                and self.rng.random() < self.rate):
+            pkt.corrupted = True
+            self.pkts_corrupted += 1
+        return True
+
+    def describe(self) -> str:
+        return f"corrupt {self.rate:.3g} on {self.port.name}"
+
+
+class PortDegrader:
+    """Temporary rate reduction modelling a sick NIC or ASIC lane.
+
+    Not a packet filter: it rescales ``Port.rate_bps`` for a window, so
+    subsequent serializations slow down while a packet already on the
+    wire finishes at the old rate.  Attaching costs nothing on the
+    per-packet path.
+    """
+
+    def __init__(self, sim: Simulator, port: Port, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"degrade factor must be > 0, got {factor}")
+        self.sim = sim
+        self.port = port
+        self.factor = factor
+        self.active = False
+        self._original_rate: Optional[float] = None
+        self.pkts_dropped = 0  # uniform counter interface; always 0
+
+    def degrade(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self._original_rate = self.port.rate_bps
+        self.port.rate_bps = self._original_rate * self.factor
+
+    def restore(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self.port.rate_bps = self._original_rate
+
+    def schedule(self, start: float, end: float) -> None:
+        self.sim.schedule_at(start, self.degrade)
+        if end != INFINITY:
+            self.sim.schedule_at(end, self.restore)
+
+    def describe(self) -> str:
+        return f"degrade x{self.factor:.3g} on {self.port.name}"

@@ -1,0 +1,296 @@
+"""Deterministic, seeded fault schedules.
+
+A :class:`FaultPlan` is a declarative list of fault events — link
+blackouts, flaps, Bernoulli loss/corruption windows, rate degradations —
+plus a seed.  ``apply()`` resolves each event's port pattern against a
+freshly built network (exact name first, then an ``fnmatch`` glob over
+``Port.name``, e.g. ``"leaf0->spine*"``), instantiates the matching
+injectors from :mod:`repro.faults.injectors`, schedules every
+transition, and returns an :class:`ActiveFaults` handle the experiment
+harness uses for live diagnosis (which links are down *right now*, how
+many packets the plan has eaten) and for the ``RunHealth`` report.
+
+Determinism: per-injector RNGs are seeded from
+``f"{plan.seed}:{event_index}:{port.name}"`` (string seeding is stable
+across processes, unlike ``hash()``), and random numbers are drawn only
+while a window is active — so a plan replayed over the same scenario is
+bit-identical, and two injectors never share an RNG stream.
+
+Plans can also be written as compact spec strings (one per event) for
+CLI plumbing — see :meth:`FaultPlan.parse`::
+
+    down:leaf0->spine0:0.005:0.002        # blackout at 5ms for 2ms
+    flap:leaf0->spine0:0.005:0.002:0.004:3
+    loss:host0->sw0:0.02                  # 2% loss, whole run
+    corrupt:sw0->host1:0.01:0.001:0.01
+    degrade:leaf*->spine0:0.1:0.002:0.01  # 10% of nominal rate
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from .injectors import (
+    INFINITY,
+    CorruptionInjector,
+    Injector,
+    LinkFaultInjector,
+    LossInjector,
+    PortDegrader,
+)
+
+
+# ---------------------------------------------------------------------------
+# fault event descriptions (pure data; resolved against a network on apply)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """One blackout: ``port`` goes dark at ``start`` for ``duration``."""
+
+    port: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def describe(self) -> str:
+        return (f"down {self.port} "
+                f"[{self.start:.6g}s, {self.end:.6g}s)")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """A flapping link: ``cycles`` x (down ``down_time``, up ``up_time``)."""
+
+    port: str
+    start: float
+    down_time: float
+    up_time: float
+    cycles: int = 1
+
+    @property
+    def end(self) -> float:
+        return self.start + self.cycles * (self.down_time + self.up_time)
+
+    def describe(self) -> str:
+        return (f"flap {self.port} x{self.cycles} "
+                f"({self.down_time:.6g}s down / {self.up_time:.6g}s up) "
+                f"from {self.start:.6g}s")
+
+
+@dataclass(frozen=True)
+class PacketLoss:
+    """Bernoulli drop of every packet offered to ``port`` in a window."""
+
+    port: str
+    rate: float
+    start: float = 0.0
+    end: float = INFINITY
+
+    def describe(self) -> str:
+        return f"loss {self.rate:.3g} {self.port} [{self.start:.6g}s, {self.end:.6g}s)"
+
+
+@dataclass(frozen=True)
+class PacketCorruption:
+    """Bernoulli corruption of DATA packets leaving ``port`` in a window."""
+
+    port: str
+    rate: float
+    start: float = 0.0
+    end: float = INFINITY
+
+    def describe(self) -> str:
+        return (f"corrupt {self.rate:.3g} {self.port} "
+                f"[{self.start:.6g}s, {self.end:.6g}s)")
+
+
+@dataclass(frozen=True)
+class RateDegrade:
+    """Scale ``port``'s rate by ``factor`` (< 1) for a window."""
+
+    port: str
+    factor: float
+    start: float
+    end: float = INFINITY
+
+    def describe(self) -> str:
+        return (f"degrade x{self.factor:.3g} {self.port} "
+                f"[{self.start:.6g}s, {self.end:.6g}s)")
+
+
+FaultEvent = (LinkDown, LinkFlap, PacketLoss, PacketCorruption, RateDegrade)
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of fault events."""
+
+    events: List[object] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"not a fault event: {event!r}")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, specs: Sequence[str], seed: int = 0) -> "FaultPlan":
+        """Build a plan from compact colon-separated spec strings."""
+        events: List[object] = []
+        for spec in specs:
+            fields = spec.split(":")
+            kind, args = fields[0].lower(), fields[1:]
+            try:
+                events.append(_parse_one(kind, args))
+            except (IndexError, ValueError) as exc:
+                raise ValueError(f"bad fault spec {spec!r}: {exc}") from exc
+        return cls(events, seed=seed)
+
+    def describe(self) -> List[str]:
+        """One human-readable line per event (the RunHealth fault windows)."""
+        return [event.describe() for event in self.events]
+
+    # -- application ------------------------------------------------------
+
+    def apply(self, network: Network, sim: Simulator) -> "ActiveFaults":
+        """Attach injectors for every event; returns the live handle."""
+        active = ActiveFaults(self, sim)
+        for index, event in enumerate(self.events):
+            for port in network.find_ports(event.port):
+                rng = random.Random(f"{self.seed}:{index}:{port.name}")
+                if isinstance(event, LinkDown):
+                    injector = LinkFaultInjector(sim, port).attach()
+                    injector.schedule_blackout(event.start, event.duration)
+                    active.link_injectors.append(injector)
+                elif isinstance(event, LinkFlap):
+                    injector = LinkFaultInjector(sim, port).attach()
+                    injector.schedule_flap(event.start, event.down_time,
+                                           event.up_time, event.cycles)
+                    active.link_injectors.append(injector)
+                elif isinstance(event, PacketLoss):
+                    injector = LossInjector(sim, port, event.rate, rng,
+                                            event.start, event.end).attach()
+                elif isinstance(event, PacketCorruption):
+                    injector = CorruptionInjector(
+                        sim, port, event.rate, rng,
+                        event.start, event.end).attach()
+                else:  # RateDegrade
+                    injector = PortDegrader(sim, port, event.factor)
+                    injector.schedule(event.start, event.end)
+                active.injectors.append(injector)
+                # every event type exposes start and end (field or property)
+                active.windows.append((event.describe(), event.start, event.end))
+        return active
+
+
+def _parse_one(kind: str, args: List[str]):
+    if kind == "down":
+        port, start, duration = args[0], float(args[1]), float(args[2])
+        return LinkDown(port, start, duration)
+    if kind == "flap":
+        port = args[0]
+        start, down_time, up_time = (float(a) for a in args[1:4])
+        cycles = int(args[4]) if len(args) > 4 else 1
+        return LinkFlap(port, start, down_time, up_time, cycles)
+    if kind in ("loss", "corrupt"):
+        port, rate = args[0], float(args[1])
+        start = float(args[2]) if len(args) > 2 else 0.0
+        end = float(args[3]) if len(args) > 3 else INFINITY
+        cls = PacketLoss if kind == "loss" else PacketCorruption
+        return cls(port, rate, start, end)
+    if kind == "degrade":
+        port, factor = args[0], float(args[1])
+        start = float(args[2]) if len(args) > 2 else 0.0
+        end = float(args[3]) if len(args) > 3 else INFINITY
+        return RateDegrade(port, factor, start, end)
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# runtime state
+# ---------------------------------------------------------------------------
+
+
+class ActiveFaults:
+    """Live view over a plan applied to one network build.
+
+    The runner's watchdog consults this to tell a genuine stall from a
+    fault the transport is expected to ride out, and the RunHealth
+    report uses it to name the dead links at stall time.
+    """
+
+    def __init__(self, plan: FaultPlan, sim: Simulator) -> None:
+        self.plan = plan
+        self.sim = sim
+        self.injectors: List[object] = []
+        self.link_injectors: List[LinkFaultInjector] = []
+        # (description, start, end) per injector, for diagnostics
+        self.windows: List[Tuple[str, float, float]] = []
+
+    # -- diagnosis --------------------------------------------------------
+
+    def down_links(self) -> List[str]:
+        """Names of ports that are down right now (deduplicated)."""
+        names = []
+        for injector in self.link_injectors:
+            if injector.is_down and injector.port.name not in names:
+                names.append(injector.port.name)
+        return names
+
+    def active_faults(self, now: Optional[float] = None) -> List[str]:
+        """Descriptions of fault windows covering ``now``."""
+        now = self.sim.now if now is None else now
+        return [desc for desc, start, end in self.windows
+                if start <= now < end]
+
+    def any_active_or_recent(self, now: float, grace: float = 0.0) -> bool:
+        """True while any fault window is open or ended < ``grace`` ago.
+
+        The watchdog must not declare a stall while a fault is active
+        (the whole point is surviving it) nor immediately after — the
+        transport gets a grace period, sized around the RTO cap, to
+        retransmit into the healed fabric.
+        """
+        for _desc, start, end in self.windows:
+            if start <= now and now < end + grace:
+                return True
+        return False
+
+    def last_fault_end(self) -> float:
+        """Latest finite window end, or 0.0 for an eventless plan."""
+        ends = [end for _d, _s, end in self.windows if end != INFINITY]
+        return max(ends) if ends else 0.0
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def pkts_dropped(self) -> int:
+        return sum(injector.pkts_dropped for injector in self.injectors)
+
+    @property
+    def pkts_corrupted(self) -> int:
+        return sum(getattr(injector, "pkts_corrupted", 0)
+                   for injector in self.injectors)
+
+    def describe_windows(self) -> List[str]:
+        return [desc for desc, _s, _e in self.windows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ActiveFaults {len(self.injectors)} injectors, "
+                f"{self.pkts_dropped} dropped>")

@@ -60,10 +60,17 @@ class Simulator:
 
     # -- scheduling -----------------------------------------------------
 
+    # Delays more negative than this are genuine scheduling-into-the-past
+    # bugs; anything closer to zero is floating-point residue from
+    # ``schedule_at(time - now)`` and is clamped to "now".
+    NEGATIVE_DELAY_TOLERANCE = -1e-12
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
+            if delay < self.NEGATIVE_DELAY_TOLERANCE:
+                raise ValueError(f"cannot schedule into the past (delay={delay})")
+            delay = 0.0
         event = Event(self.now + delay, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, (event.time, self._seq, event))

@@ -23,7 +23,7 @@ class Host:
     """A server attached to the fabric."""
 
     __slots__ = ("host_id", "name", "uplink", "endpoints", "ops_sent",
-                 "ops_received", "default_endpoint")
+                 "ops_received", "corrupt_discards", "default_endpoint")
 
     def __init__(self, host_id: int, name: str = "") -> None:
         self.host_id = host_id
@@ -32,6 +32,7 @@ class Host:
         self.endpoints: Dict[int, object] = {}
         self.ops_sent = 0
         self.ops_received = 0
+        self.corrupt_discards = 0
         # Fallback receiver for packets of unregistered flows (unused in
         # normal operation; lets tests inject raw packets).
         self.default_endpoint = None
@@ -53,6 +54,11 @@ class Host:
     def receive(self, pkt: Packet) -> None:
         """Dispatch an arriving packet to the endpoint owning its flow."""
         self.ops_received += 1
+        if pkt.corrupted:
+            # failed checksum: the NIC discards it before the transport
+            # ever sees it — recovery is the sender's problem
+            self.corrupt_discards += 1
+            return
         endpoint = self.endpoints.get(pkt.flow_id)
         if endpoint is not None:
             endpoint.on_packet(pkt)

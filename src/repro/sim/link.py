@@ -18,6 +18,36 @@ from .packet import Packet
 from .queues import PriorityMux
 
 
+class FaultChain:
+    """Chain-of-responsibility over a port's attached fault injectors.
+
+    An injector is any object exposing ``admit(pkt) -> bool`` (called
+    when a packet is offered to the port; False = drop before enqueue)
+    and ``transmit(pkt) -> bool`` (called when serialization completes;
+    False = the packet is lost on the wire and never reaches the peer).
+    Ports carry no chain at all (``fault_chain is None``) until the
+    first injector attaches, so the fault machinery costs nothing when
+    unused.
+    """
+
+    __slots__ = ("injectors",)
+
+    def __init__(self) -> None:
+        self.injectors: list = []
+
+    def admit(self, pkt: Packet) -> bool:
+        for injector in self.injectors:
+            if not injector.admit(pkt):
+                return False
+        return True
+
+    def transmit(self, pkt: Packet) -> bool:
+        for injector in self.injectors:
+            if not injector.transmit(pkt):
+                return False
+        return True
+
+
 class Port:
     """A transmitter + queue attached to one end of a link.
 
@@ -40,6 +70,7 @@ class Port:
     __slots__ = (
         "sim", "rate_bps", "prop_delay", "mux", "peer", "name",
         "busy", "bytes_sent", "pkts_sent", "busy_time", "_tx_start",
+        "fault_chain",
     )
 
     def __init__(
@@ -62,9 +93,33 @@ class Port:
         self.pkts_sent = 0
         self.busy_time = 0.0
         self._tx_start = 0.0
+        self.fault_chain: Optional[FaultChain] = None
+
+    # -- fault injection --------------------------------------------------
+
+    def attach_fault(self, injector) -> None:
+        """Add a fault injector to this port's chain (created lazily)."""
+        if self.fault_chain is None:
+            self.fault_chain = FaultChain()
+        self.fault_chain.injectors.append(injector)
+
+    def detach_fault(self, injector) -> None:
+        """Remove ``injector``; drops the chain when it empties."""
+        chain = self.fault_chain
+        if chain is None:
+            return
+        if injector in chain.injectors:
+            chain.injectors.remove(injector)
+        if not chain.injectors:
+            self.fault_chain = None
+
+    # -- transmission -----------------------------------------------------
 
     def send(self, pkt: Packet) -> bool:
         """Enqueue ``pkt`` for transmission.  Returns False if dropped."""
+        chain = self.fault_chain
+        if chain is not None and not chain.admit(pkt):
+            return False
         pkt.queue_delay -= self.sim.now  # finalized on dequeue
         if not self.mux.enqueue(pkt):
             pkt.queue_delay += self.sim.now  # undo; packet is gone anyway
@@ -88,6 +143,10 @@ class Port:
         self.bytes_sent += pkt.size
         self.pkts_sent += 1
         self.busy_time += self.sim.now - self._tx_start
+        chain = self.fault_chain
+        if chain is not None and not chain.transmit(pkt):
+            self._start_next()  # lost on the wire (link down, ...)
+            return
         if self.peer is not None:
             self.sim.schedule(self.prop_delay, self.peer.receive, pkt)
         self._start_next()

@@ -10,6 +10,7 @@ queued fabric.
 
 from __future__ import annotations
 
+import fnmatch
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -208,6 +209,30 @@ class Network:
         self.hosts[dst_host].unregister(flow_id)
 
     # -- introspection ----------------------------------------------------
+
+    def find_ports(self, pattern: str) -> List[Port]:
+        """Ports whose name matches ``pattern`` (exact or fnmatch glob).
+
+        Matches are returned in construction order, which is
+        deterministic, so fault plans resolved against the result are
+        reproducible.  Raises KeyError when nothing matches — a fault
+        plan naming a non-existent link is a configuration bug, not a
+        no-op.
+        """
+        matched = [p for p in self.ports if p.name == pattern]
+        if not matched:
+            matched = [p for p in self.ports
+                       if fnmatch.fnmatchcase(p.name, pattern)]
+        if not matched:
+            raise KeyError(f"no port matches {pattern!r}")
+        return matched
+
+    def port_named(self, name: str) -> Port:
+        """The unique port with exactly this name."""
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"no port named {name!r}")
 
     def port_to_host(self, host_id: int) -> Port:
         """The last-hop switch port feeding ``host_id`` (its downlink)."""

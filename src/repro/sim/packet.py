@@ -66,6 +66,10 @@ class Packet:
         selective drop).
     retransmit:
         True if this packet is a retransmission.
+    corrupted:
+        True once a fault injector has flipped bits in the packet; the
+        receiving host discards it (failed checksum) instead of
+        dispatching it to a transport endpoint.
     sack / ack_seq / meta:
         Transport-specific payload: SACK blocks, cumulative ack, or any
         other per-packet state a transport needs to carry.
@@ -83,8 +87,8 @@ class Packet:
     __slots__ = (
         "flow_id", "src", "dst", "seq", "size", "kind", "priority",
         "ecn_capable", "ecn_ce", "lcp", "unscheduled", "retransmit",
-        "ack_seq", "sack", "meta", "int_records", "sent_at", "hops",
-        "queue_delay",
+        "corrupted", "ack_seq", "sack", "meta", "int_records", "sent_at",
+        "hops", "queue_delay",
     )
 
     def __init__(
@@ -110,6 +114,7 @@ class Packet:
         self.lcp = False
         self.unscheduled = False
         self.retransmit = False
+        self.corrupted = False
         self.ack_seq: int = -1
         self.sack: Optional[Tuple[int, ...]] = None
         self.meta = None

@@ -243,6 +243,24 @@ class PriorityMux:
                 return pkt
         return None
 
+    def flush(self) -> int:
+        """Drop every queued packet (link failure); returns the count.
+
+        Flushed packets are accounted as drops, not dequeues — they
+        never made it onto the wire.
+        """
+        flushed = 0
+        for priority, queue in enumerate(self.queues):
+            while queue:
+                pkt = queue.popleft()
+                self.occupancy -= pkt.size
+                self.queue_occupancy[priority] -= pkt.size
+                if pkt.lcp:
+                    self.lp_occupancy -= pkt.size
+                self._drop(pkt)
+                flushed += 1
+        return flushed
+
     # -- introspection ---------------------------------------------------
 
     def __len__(self) -> int:

@@ -69,6 +69,11 @@ class TransportConfig:
     mss: int = 1500
     init_cwnd: int = 10            # packets; Linux default (TCP-10 [12])
     min_rto: float = 2e-3          # seconds; testbed uses 10ms (Table 3)
+    # Exponential RTO backoff (consecutive timeouts without forward
+    # progress double the timer, capped) — keeps senders alive through
+    # link blackouts without a pathological retransmit storm.
+    max_rto: float = 0.25          # seconds; the backoff cap
+    rto_backoff: float = 2.0       # multiplier per consecutive timeout
     dctcp_g: float = 1.0 / 16.0    # alpha EWMA gain (DCTCP paper default)
     max_cwnd_packets: int = 10_000
     # TCP send buffer capacity (buffer-aware identification, §4.1 / Fig 27).

@@ -107,10 +107,14 @@ class WindowSender:
         self.pkts_transmitted = 0
         self.pkts_retransmitted = 0
         self.acks_received = 0
+        self.rtos_fired = 0
 
         # timers
         self._rto_event: Optional[Event] = None
         self._last_fast_rtx: float = -1.0
+        # consecutive timeouts without forward progress; exponent of the
+        # RTO backoff, reset by any ACK that delivers new data
+        self.rto_backoff_exp = 0
 
         # send-buffer model: only bytes the application has already copied
         # into the kernel send buffer are transmittable (§4.1).  The app
@@ -251,6 +255,7 @@ class WindowSender:
                 self._fast_retransmit()
 
         if newly:
+            self.rto_backoff_exp = 0  # forward progress: reset backoff
             self.cc_on_ack(pkt.ecn_ce, rtt)
 
         if len(self.delivered) >= self.n_packets:
@@ -282,8 +287,17 @@ class WindowSender:
 
     # -- retransmission timeout -----------------------------------------------
 
+    # Backoff exponent never grows past this — 2**16 overflows any
+    # realistic cap anyway and unbounded exponents are a float hazard.
+    MAX_BACKOFF_EXP = 16
+
     def rto_interval(self) -> float:
-        return max(self.cfg.min_rto, 2.0 * self.srtt)
+        """Current timeout: base RTO scaled by exponential backoff, capped."""
+        base = max(self.cfg.min_rto, 2.0 * self.srtt)
+        if self.rto_backoff_exp == 0:
+            return base
+        cap = max(self.cfg.max_rto, self.cfg.min_rto)
+        return min(base * self.cfg.rto_backoff ** self.rto_backoff_exp, cap)
 
     def _arm_rto(self) -> None:
         if self._rto_event is not None:
@@ -296,6 +310,9 @@ class WindowSender:
         if self.finished:
             return
         self.host.ops_sent += 1  # timer work counts as datapath ops
+        self.rtos_fired += 1
+        if self.rto_backoff_exp < self.MAX_BACKOFF_EXP:
+            self.rto_backoff_exp += 1
         # Everything in flight is presumed lost.
         self.outstanding.clear()
         self.send_ptr = self.cum

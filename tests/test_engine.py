@@ -33,6 +33,22 @@ def test_negative_delay_rejected():
         sim.schedule(-1e-9, lambda: None)
 
 
+def test_tiny_negative_delay_clamped_to_zero():
+    # float round-off from `t_abs - now` arithmetic must not kill a run
+    sim = Simulator()
+    fired = []
+    sim.schedule(-1e-15, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 0.0
+
+
+def test_genuinely_negative_delay_still_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1e-6, lambda: None)
+
+
 def test_zero_delay_allowed():
     sim = Simulator()
     fired = []

@@ -1,0 +1,104 @@
+"""Loss-recovery coverage for the window transport core.
+
+Forced packet drops must trigger fast-retransmit and RTO (with
+exponential backoff, capped), and the flow must still complete — for
+every window-based scheme in the family (DCTCP, PIAS, PPT).
+"""
+
+import random
+
+import pytest
+
+from conftest import make_ctx, quick_qcfg
+from repro.core.ppt import Ppt
+from repro.faults import LinkFaultInjector, LossInjector
+from repro.sim.topology import dumbbell
+from repro.transport.base import Flow, TransportConfig
+from repro.transport.dctcp import Dctcp
+from repro.transport.pias import Pias
+from repro.units import gbps, us
+
+SCHEMES = [Dctcp, Pias, Ppt]
+
+
+def launch(scheme_cls, topo, size=300_000, **cfg):
+    scheme = scheme_cls()
+    scheme.configure_network(topo.network)
+    cfg.setdefault("min_rto", 1e-3)
+    ctx = make_ctx(topo, **cfg)
+    flow = Flow(0, 0, 1, size, 0.0)
+    scheme.start_flow(flow, ctx)
+    return flow, topo.network.hosts[0].endpoints[0]
+
+
+def make_dumbbell():
+    return dumbbell(rate=gbps(10), prop_delay=us(5), qcfg=quick_qcfg())
+
+
+@pytest.mark.parametrize("scheme_cls", SCHEMES, ids=lambda c: c.name)
+def test_random_loss_triggers_fast_retransmit(scheme_cls):
+    topo = make_dumbbell()
+    port = topo.network.port_named("sw0->sw1")
+    LossInjector(topo.sim, port, 0.05, random.Random("loss")).attach()
+    flow, sender = launch(scheme_cls, topo)
+    topo.sim.run(until=2.0)
+    assert flow.completed
+    # random loss with SACK feedback is recovered via fast retransmit
+    assert sender.pkts_retransmitted > 0
+
+
+@pytest.mark.parametrize("scheme_cls", SCHEMES, ids=lambda c: c.name)
+def test_blackout_triggers_rto_with_backoff(scheme_cls):
+    topo = make_dumbbell()
+    port = topo.network.port_named("sw0->sw1")
+    injector = LinkFaultInjector(topo.sim, port).attach()
+    # blackout long enough for several timeouts, shorter than the cap
+    # would need to ride out: min_rto=1ms, max_rto=8ms, 50ms of darkness
+    injector.schedule_blackout(0.0002, 0.05)
+    flow, sender = launch(scheme_cls, topo, max_rto=8e-3, rto_backoff=2.0)
+
+    samples = {}
+
+    def probe():
+        samples["exp"] = sender.rto_backoff_exp
+        samples["interval"] = sender.rto_interval()
+
+    topo.sim.schedule_at(0.045, probe)  # deep into the blackout
+    topo.sim.run(until=2.0)
+
+    assert flow.completed
+    assert sender.rtos_fired >= 2
+    # mid-blackout the timer had backed off, but never past the cap
+    assert samples["exp"] >= 2
+    assert samples["interval"] <= 8e-3
+    assert samples["interval"] > sender.cfg.min_rto
+    # the first post-recovery ACK reset the backoff
+    assert sender.rto_backoff_exp == 0
+
+
+def test_rto_interval_backoff_math():
+    topo = make_dumbbell()
+    flow, sender = launch(Dctcp, topo, min_rto=1e-3, max_rto=16e-3,
+                          rto_backoff=2.0)
+    sender.srtt = 0.0  # pin the base at min_rto
+    assert sender.rto_interval() == pytest.approx(1e-3)
+    for exp, expected in [(1, 2e-3), (2, 4e-3), (3, 8e-3),
+                          (4, 16e-3), (5, 16e-3), (16, 16e-3)]:
+        sender.rto_backoff_exp = exp
+        assert sender.rto_interval() == pytest.approx(expected)
+
+
+def test_backoff_exponent_is_capped():
+    topo = make_dumbbell()
+    flow, sender = launch(Dctcp, topo)
+    sender.rto_backoff_exp = sender.MAX_BACKOFF_EXP
+    sender._on_rto()
+    assert sender.rto_backoff_exp == sender.MAX_BACKOFF_EXP
+    assert sender.rto_interval() <= max(sender.cfg.max_rto,
+                                        sender.cfg.min_rto)
+
+
+def test_max_rto_defaults_sane():
+    cfg = TransportConfig()
+    assert cfg.max_rto >= cfg.min_rto
+    assert cfg.rto_backoff > 1.0
