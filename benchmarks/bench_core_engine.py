@@ -1,0 +1,69 @@
+"""Core DES engine throughput — the repo's events/sec trajectory.
+
+Not a paper figure: this is the perf baseline every hot-path change is
+judged against (ROADMAP: "as fast as the hardware allows").  Two probes:
+
+* ``raw-heap`` — interleaved self-rescheduling timer chains, nothing but
+  ``schedule``/``run``: the heap push/pop ceiling of the engine itself;
+* ``dctcp-incast`` — a 16:1 DCTCP incast through the full datapath
+  (ports, priority mux, switch, transport, ACK clocking): the number
+  that actually bounds experiment wall time, and the workload the lazy
+  RTO-timer change is measured on.
+
+The assertion is deliberately loose (events/sec > 0): wall-clock varies
+across machines, so the job *log* carries the number — compare it across
+commits, don't gate on it.
+"""
+
+import time
+
+from conftest import run_figure
+from repro.experiments.runner import run
+from repro.experiments.scenarios import incast_scenario
+from repro.sim.engine import Simulator
+from repro.transport.dctcp import Dctcp
+from repro.workloads.distributions import WEB_SEARCH
+
+RAW_EVENTS = 200_000
+RAW_CHAINS = 8
+
+
+def _raw_heap_row():
+    sim = Simulator()
+
+    def tick(depth):
+        if depth:
+            sim.schedule(1e-6, tick, depth - 1)
+
+    for _ in range(RAW_CHAINS):
+        sim.schedule(0.0, tick, RAW_EVENTS // RAW_CHAINS)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return {"bench": "raw-heap", "events": sim.events_run,
+            "seconds": elapsed, "events_per_sec": sim.events_run / elapsed}
+
+
+def _incast_row():
+    scenario = incast_scenario(
+        "bench-core-incast", WEB_SEARCH, n_senders=16, load=0.6,
+        n_flows=64, size_cap=500_000, seed=3)
+    t0 = time.perf_counter()
+    result = run(Dctcp(), scenario)
+    elapsed = time.perf_counter() - t0
+    assert result.completed == len(result.flows), "incast must complete"
+    return {"bench": "dctcp-incast", "events": result.wall_events,
+            "seconds": elapsed,
+            "events_per_sec": result.wall_events / elapsed}
+
+
+def _run_bench():
+    return {"rows": [_raw_heap_row(), _incast_row()]}
+
+
+def test_core_engine_events_per_sec(benchmark):
+    result = run_figure(benchmark, "Core engine throughput (events/sec)",
+                        _run_bench)
+    for row in result["rows"]:
+        assert row["events"] > 0
+        assert row["events_per_sec"] > 0

@@ -5,41 +5,55 @@ replays the Fig-12 web-search comparison over three independent seeds
 and checks the headline ordering — PPT below DCTCP and RC3 on the
 overall average, and far below both on the small-flow tail — holds for
 every one of them, i.e. the reproduction is not a single-seed artefact.
+
+The seed × scheme grid runs on the parallel executor
+(:mod:`repro.experiments.parallel`) with one worker per core; results
+are merged in deterministic grid order, so the table is identical to a
+serial run but the wall time is divided by the core count.
 """
 
 from conftest import run_figure
 from repro.core.ppt import Ppt
-from repro.experiments.runner import run
+from repro.experiments.parallel import GridTask, run_grid
 from repro.experiments.scenarios import all_to_all_scenario
 from repro.transport.dctcp import Dctcp
 from repro.transport.rc3 import Rc3
 from repro.workloads.distributions import WEB_SEARCH
 
 SEEDS = (7, 23, 101)
+SCHEMES = {"dctcp": Dctcp, "rc3": Rc3, "ppt": Ppt}
 
 
-def _run_seeds():
+def _make_scenario(seed=7):
+    return all_to_all_scenario(f"seed-{seed}", WEB_SEARCH, load=0.5,
+                               n_flows=150, seed=seed)
+
+
+def _run_seeds(jobs=None):
+    tasks = [
+        GridTask(scheme_factory=factory, scenario_factory=_make_scenario,
+                 params={"seed": seed}, label=f"{name} seed={seed}",
+                 scheme_key=name)
+        for seed in SEEDS
+        for name, factory in SCHEMES.items()
+    ]
     rows = []
-    for seed in SEEDS:
-        scenario = all_to_all_scenario(f"seed-{seed}", WEB_SEARCH, load=0.5,
-                                       n_flows=150, seed=seed)
-        for scheme in (Dctcp(), Rc3(), Ppt()):
-            result = run(scheme, scenario)
-            stats = result.stats
-            rows.append({
-                "seed": seed,
-                "scheme": scheme.name,
-                "overall_avg_ms": stats.overall_avg * 1e3,
-                "small_avg_ms": stats.small_avg * 1e3,
-                "small_p99_ms": stats.small_p99 * 1e3,
-                "completed": result.completed,
-            })
+    for summary in run_grid(tasks, jobs=jobs):
+        stats = summary.stats
+        rows.append({
+            "seed": summary.params["seed"],
+            "scheme": summary.scheme,
+            "overall_avg_ms": stats.overall_avg * 1e3,
+            "small_avg_ms": stats.small_avg * 1e3,
+            "small_p99_ms": stats.small_p99 * 1e3,
+            "completed": summary.completed,
+        })
     return {"rows": rows}
 
 
 def test_headline_holds_across_seeds(benchmark):
     result = run_figure(benchmark, "Extension: seed stability",
-                        _run_seeds)
+                        _run_seeds, jobs=-1)
     data = {(r["seed"], r["scheme"]): r for r in result["rows"]}
     assert all(r["completed"] == 150 for r in result["rows"])
     for seed in SEEDS:

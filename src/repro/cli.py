@@ -20,6 +20,7 @@ Examples
 --------
 
     python -m repro run --schemes ppt dctcp --workload web-search --load 0.5
+    python -m repro run --schemes ppt dctcp homa swift --jobs 4
     python -m repro run --schemes ppt dctcp \
         --fault flap:leaf0->spine0:0.005:0.002:0.004:3 --health
     python -m repro figure fig12 --workload data-mining
@@ -37,7 +38,8 @@ from .core.ppt_hpcc import PptHpcc
 from .core.ppt_swift import PptSwift
 from .experiments import figures, tables
 from .faults import FaultPlan
-from .experiments.runner import format_table, run
+from .experiments.parallel import GridTask, run_grid
+from .experiments.runner import format_table
 from .experiments.scenarios import (
     HOMA_RTT_BYTES_SIM,
     all_to_all_scenario,
@@ -146,42 +148,46 @@ def _cmd_run(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    if args.pattern == "incast":
-        scenario = incast_scenario(
-            "cli", cdf, n_senders=args.incast_senders, load=args.load,
-            n_flows=args.flows, size_cap=args.size_cap, seed=args.seed,
-            faults=faults, event_budget=args.event_budget)
-    else:
-        scenario = all_to_all_scenario(
+    def make_scenario():
+        if args.pattern == "incast":
+            return incast_scenario(
+                "cli", cdf, n_senders=args.incast_senders, load=args.load,
+                n_flows=args.flows, size_cap=args.size_cap, seed=args.seed,
+                faults=faults, event_budget=args.event_budget)
+        return all_to_all_scenario(
             "cli", cdf, load=args.load, n_flows=args.flows,
             size_cap=args.size_cap, seed=args.seed,
             faults=faults, event_budget=args.event_budget)
+
+    tasks = [GridTask(scheme_factory=SCHEME_FACTORIES[name],
+                      scenario_factory=make_scenario,
+                      label=name, scheme_key=name)
+             for name in args.schemes]
+    try:
+        summaries = run_grid(tasks, jobs=args.jobs)
+    except KeyError as exc:
+        # bad port name/glob in a fault spec surfaces at apply time
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     rows = []
-    for name in args.schemes:
-        scheme = SCHEME_FACTORIES[name]()
-        try:
-            result = run(scheme, scenario)
-        except KeyError as exc:
-            # bad port name/glob in a fault spec surfaces at apply time
-            print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 2
-        stats = result.stats
+    for name, summary in zip(args.schemes, summaries):
+        stats = summary.stats
         row = {
             "scheme": name,
-            "flows": f"{result.completed}/{len(result.flows)}",
+            "flows": f"{summary.completed}/{summary.n_flows}",
             "overall_avg_ms": stats.overall_avg * 1e3,
             "small_avg_ms": stats.small_avg * 1e3,
             "small_p99_ms": stats.small_p99 * 1e3,
             "large_avg_ms": stats.large_avg * 1e3,
         }
         if faults is not None or args.health:
-            row["rtx"] = result.health.retransmits_total
-            row["rtos"] = result.health.rtos_total
-            row["health"] = _health_label(result.health)
+            row["rtx"] = summary.health.retransmits_total
+            row["rtos"] = summary.health.rtos_total
+            row["health"] = _health_label(summary.health)
         rows.append(row)
-        print(f"done: {name} ({result.health.summary()})", file=sys.stderr)
-        if result.health.stalled:
-            print(f"  stall: {result.health.stall_reason}", file=sys.stderr)
+        print(f"done: {name} ({summary.health.summary()})", file=sys.stderr)
+        if summary.health.stalled:
+            print(f"  stall: {summary.health.stall_reason}", file=sys.stderr)
     print(format_table(rows))
     return 0
 
@@ -235,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fault-seed", type=int, default=0)
     run_p.add_argument("--event-budget", type=int, default=None,
                        help="abort a run after this many simulator events")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes to fan the schemes across "
+                            "(-1 = one per core); results are merged in "
+                            "deterministic order, identical to --jobs 1")
     run_p.add_argument("--health", action="store_true",
                        help="include run-health columns in the output table")
     run_p.set_defaults(fn=_cmd_run)

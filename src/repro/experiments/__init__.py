@@ -1,6 +1,7 @@
 """Experiment harness: scenarios, runners and per-figure drivers."""
 
-from . import figures, scenarios, sweeps, tables
+from . import figures, parallel, scenarios, sweeps, tables
+from .parallel import GridTask, RunSummary, run_grid, scheme_grid
 from .runner import (
     RunResult,
     Scenario,
@@ -11,4 +12,5 @@ from .runner import (
 )
 
 __all__ = ["Scenario", "RunResult", "run", "run_all", "two_pass",
-           "format_table", "figures", "scenarios", "tables", "sweeps"]
+           "format_table", "figures", "scenarios", "tables", "sweeps",
+           "parallel", "GridTask", "RunSummary", "run_grid", "scheme_grid"]

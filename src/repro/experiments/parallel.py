@@ -1,0 +1,197 @@
+"""Parallel experiment execution: fan a run grid across worker processes.
+
+Every sweep and multi-seed benchmark in this repo is embarrassingly
+parallel — each (scheme, variant, seed) cell builds its own topology,
+its own simulator and its own seeded RNGs, so cells share *nothing*.
+This module exploits that: :func:`run_grid` executes a list of
+:class:`GridTask` cells either serially or on a ``fork``-based process
+pool, and returns one slim, picklable :class:`RunSummary` per cell in
+the exact order the tasks were given.
+
+Determinism contract
+--------------------
+
+Parallel output is **bit-identical** to serial output:
+
+* each worker executes the same ``run(scheme_factory(), scenario)`` call
+  the serial path would, on a freshly built scenario, so the packet-level
+  behaviour of a cell cannot depend on its neighbours;
+* results are collected with ``Pool.map``, which preserves submission
+  order — the merged list is in deterministic grid order no matter which
+  worker finished first.
+
+Workers are created with the ``fork`` start method so tasks (which close
+over scheme factories, scenario builders and fault plans — none of them
+picklable in general) are inherited by reference through a module-level
+table instead of being pickled.  Only the integer task index crosses the
+pipe going in, and only the :class:`RunSummary` crosses coming back.  On
+platforms without ``fork`` the grid silently degrades to serial
+execution, which is always correct.
+
+:class:`RunSummary` vs :class:`~repro.experiments.runner.RunResult`:
+the full result drags the live :class:`~repro.sim.network.Network`,
+:class:`~repro.sim.topology.Topology` and every endpoint along — none of
+which survive pickling (and shipping a few hundred megabytes of
+simulator state across a pipe would erase the speedup).  The summary
+keeps what every sweep consumer actually reads: FCT statistics, run
+health, completion counts and the event total.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..metrics.fct import FctStats
+from ..transport.base import Scheme
+from .runner import RunHealth, RunResult, Scenario, run
+
+
+@dataclass
+class RunSummary:
+    """Slim, picklable digest of one run — what sweeps consume.
+
+    Carries only plain data (dataclasses of numbers, strings and small
+    containers), so it crosses process boundaries cheaply and can be
+    archived as JSON.
+    """
+
+    scheme: str
+    scenario: str
+    params: Dict[str, object]
+    stats: FctStats
+    health: RunHealth
+    completed: int
+    n_flows: int
+    wall_events: int
+
+    @classmethod
+    def from_result(cls, result: RunResult,
+                    params: Optional[Dict[str, object]] = None
+                    ) -> "RunSummary":
+        return cls(
+            scheme=result.scheme_name,
+            scenario=result.scenario_name,
+            params=dict(params or {}),
+            stats=result.stats,
+            health=result.health,
+            completed=result.completed,
+            n_flows=len(result.flows),
+            wall_events=result.wall_events,
+        )
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / max(1, self.n_flows)
+
+
+@dataclass
+class GridTask:
+    """One cell of a run grid: build a fresh scenario, run one scheme.
+
+    ``scenario_factory`` is called with ``params`` as keyword arguments
+    inside the worker, so the (unpicklable) topology/flows/faults are
+    built after the fork, exactly as the serial path would build them.
+    """
+
+    scheme_factory: Callable[[], Scheme]
+    scenario_factory: Callable[..., Scenario]
+    params: Dict[str, object] = field(default_factory=dict)
+    label: str = ""
+    # Registry key for the scheme (sweeps name cells by their factory
+    # key, which can differ from ``Scheme.name``); empty = use the
+    # scheme's own name.
+    scheme_key: str = ""
+
+    def execute(self) -> RunSummary:
+        scenario = self.scenario_factory(**self.params)
+        result = run(self.scheme_factory(), scenario)
+        summary = RunSummary.from_result(result, self.params)
+        if self.scheme_key:
+            summary.scheme = self.scheme_key
+        return summary
+
+
+# Task table inherited by forked workers; indexed by the integers that
+# actually cross the pipe.  Never mutated while a pool is alive.
+_FORK_TASKS: Optional[Sequence[GridTask]] = None
+
+
+def _run_nth_task(index: int) -> RunSummary:
+    return _FORK_TASKS[index].execute()
+
+
+def default_jobs() -> int:
+    """A sane worker count: the machine's cores (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_grid(
+    tasks: Sequence[GridTask],
+    *,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[RunSummary]:
+    """Execute every task; return summaries in task order.
+
+    ``jobs`` — worker processes.  ``None``, ``0`` or ``1`` runs serially
+    in-process; ``-1`` means :func:`default_jobs`.  ``progress`` is
+    called with each task's label as its result is merged (serial: as it
+    runs), so output ordering is identical on both paths.
+    """
+    tasks = list(tasks)
+    if jobs is not None and jobs < 0:
+        jobs = default_jobs()
+    n_workers = min(jobs or 1, len(tasks))
+    if n_workers <= 1 or not _fork_available():
+        summaries = []
+        for task in tasks:
+            if progress is not None:
+                progress(task.label)
+            summaries.append(task.execute())
+        return summaries
+
+    global _FORK_TASKS
+    previous = _FORK_TASKS
+    _FORK_TASKS = tasks
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=n_workers) as pool:
+            summaries = pool.map(_run_nth_task, range(len(tasks)),
+                                 chunksize=1)
+    finally:
+        _FORK_TASKS = previous
+    if progress is not None:
+        for task in tasks:
+            progress(task.label)
+    return summaries
+
+
+def scheme_grid(
+    scheme_factories: Dict[str, Callable[[], Scheme]],
+    scenario_factory: Callable[..., Scenario],
+    variants: Sequence[Dict[str, object]],
+) -> List[GridTask]:
+    """The canonical sweep grid: variants outer, schemes inner.
+
+    Matches the iteration order of :func:`repro.experiments.sweeps.sweep`
+    exactly, which is what makes ``sweep(..., jobs=N)`` bit-identical to
+    the serial path.
+    """
+    tasks: List[GridTask] = []
+    for variant in variants:
+        for name, factory in scheme_factories.items():
+            tasks.append(GridTask(
+                scheme_factory=factory,
+                scenario_factory=scenario_factory,
+                params=dict(variant),
+                label=f"{name} @ {variant}",
+                scheme_key=name,
+            ))
+    return tasks

@@ -86,6 +86,10 @@ class RunHealth:
     event_budget_exceeded: bool = False
     events_run: int = 0
     sim_time: float = 0.0
+    # live (non-cancelled) events still pending when the drain stopped —
+    # the engine's raw heap length also counts lazily-deleted timers, so
+    # diagnostics use Simulator.live_pending instead
+    live_pending: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -275,6 +279,7 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
     health.completed = len(ctx.completed)
     health.events_run = sim.events_run
     health.sim_time = sim.now
+    health.live_pending = sim.live_pending
 
     if health.completed < n_flows and not health.event_budget_exceeded:
         quiet_for = t - last_progress_t
@@ -304,7 +309,8 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
                     f"{'; '.join(health.faults_active_at_stall)}")
             else:
                 health.stall_reason = (
-                    f"no progress for {quiet_for:.6g}s; no faults active")
+                    f"no progress for {quiet_for:.6g}s; no faults active; "
+                    f"{health.live_pending} live event(s) pending")
         else:
             health.stall_reason = "max_time reached while still progressing"
 

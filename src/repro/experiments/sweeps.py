@@ -16,7 +16,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..metrics.fct import FctStats
 from ..transport.base import Scheme
-from .runner import RunResult, Scenario, run
+from .parallel import run_grid, scheme_grid
+from .runner import Scenario
 
 
 @dataclass
@@ -48,27 +49,31 @@ def sweep(
     variants: Sequence[Dict[str, object]],
     *,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run every scheme on every scenario variant.
 
     ``scenario_factory`` is called with each variant dict's items as
     keyword arguments and must return a fresh :class:`Scenario`.
+
+    ``jobs`` fans the grid across that many worker processes
+    (``-1`` = one per core).  Every cell builds its own fresh scenario
+    and results are merged in grid order, so the returned points are
+    bit-identical to a serial run — see :mod:`repro.experiments.parallel`
+    for the determinism contract.
     """
-    points: List[SweepPoint] = []
-    for variant in variants:
-        scenario = scenario_factory(**variant)
-        for name, factory in scheme_factories.items():
-            if progress is not None:
-                progress(f"{name} @ {variant}")
-            result = run(factory(), scenario)
-            points.append(SweepPoint(
-                scheme=name,
-                variant=dict(variant),
-                stats=result.stats,
-                completed=result.completed,
-                n_flows=len(result.flows),
-            ))
-    return points
+    tasks = scheme_grid(scheme_factories, scenario_factory, variants)
+    summaries = run_grid(tasks, jobs=jobs, progress=progress)
+    return [
+        SweepPoint(
+            scheme=summary.scheme,
+            variant=dict(task.params),
+            stats=summary.stats,
+            completed=summary.completed,
+            n_flows=summary.n_flows,
+        )
+        for task, summary in zip(tasks, summaries)
+    ]
 
 
 def load_sweep_variants(loads: Iterable[float]) -> List[Dict[str, object]]:

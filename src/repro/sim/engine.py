@@ -109,7 +109,14 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self.now < until:
-            self.now = until
+            # Fast-forward the clock only when the heap really was drained
+            # up to ``until``.  If the loop broke on ``max_events`` there
+            # are still live events at or before ``until``; jumping past
+            # them would make the next slice run with a clock *behind*
+            # ``self.now`` — time must never go backwards.
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self.now = until
         self._events_run += executed
         return executed
 
@@ -138,6 +145,16 @@ class Simulator:
     def pending(self) -> int:
         """Number of heap entries, including cancelled ones."""
         return len(self._heap)
+
+    @property
+    def live_pending(self) -> int:
+        """Number of pending events that will actually fire.
+
+        ``pending`` counts raw heap entries, which with lazy deletion
+        includes already-cancelled timers; diagnostics (the run-health
+        watchdog, stall reports) should use this count instead.
+        """
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
 
     @property
     def events_run(self) -> int:

@@ -96,6 +96,10 @@ class WindowSender:
         # SACK-style recovery can tell a *lost* packet (sent long ago,
         # still unacknowledged) from one merely in flight
         self.outstanding: Dict[int, float] = {}
+        # every seq this loop has ever put on the wire — a re-send of one
+        # of these is a retransmission even when the caller didn't know
+        # (post-RTO recovery goes through the plain try_send path)
+        self._ever_sent: Set[int] = set()
         self.delivered: Set[int] = set()
         self.cum = 0
         self.send_ptr = 0
@@ -109,8 +113,13 @@ class WindowSender:
         self.acks_received = 0
         self.rtos_fired = 0
 
-        # timers
+        # timers — a single lazy-deadline RTO: `_rto_deadline` is the
+        # authoritative timeout and is merely *extended* on each ACK/send;
+        # the scheduled event re-checks it on fire instead of being
+        # cancelled and re-pushed per packet (which bloats the engine
+        # heap with one dead entry per ACK).
         self._rto_event: Optional[Event] = None
+        self._rto_deadline: float = math.inf
         self._last_fast_rtx: float = -1.0
         # consecutive timeouts without forward progress; exponent of the
         # RTO backoff, reset by any ACK that delivers new data
@@ -166,6 +175,12 @@ class WindowSender:
             self.transmit(seq)
 
     def transmit(self, seq: int, retransmit: bool = False) -> None:
+        # Any re-send of a seq this loop already transmitted is a
+        # retransmission, whether or not the caller knew: after an RTO
+        # the presumed-lost window is re-sent via the ordinary try_send
+        # path, and that recovery work must show up in the counters.
+        retransmit = retransmit or seq in self._ever_sent
+        self._ever_sent.add(seq)
         pkt = self.build_packet(seq)
         pkt.retransmit = retransmit
         pkt.sent_at = self.sim.now
@@ -292,19 +307,51 @@ class WindowSender:
     MAX_BACKOFF_EXP = 16
 
     def rto_interval(self) -> float:
-        """Current timeout: base RTO scaled by exponential backoff, capped."""
-        base = max(self.cfg.min_rto, 2.0 * self.srtt)
+        """Current timeout: base RTO scaled by exponential backoff, capped.
+
+        The ``max_rto`` cap applies to the *base* too — an srtt inflated
+        by queueing (or a stale sample) must not let the un-backed-off
+        timeout exceed the cap that backoff itself respects.
+        """
+        cap = max(self.cfg.max_rto, self.cfg.min_rto)
+        base = min(max(self.cfg.min_rto, 2.0 * self.srtt), cap)
         if self.rto_backoff_exp == 0:
             return base
-        cap = max(self.cfg.max_rto, self.cfg.min_rto)
         return min(base * self.cfg.rto_backoff ** self.rto_backoff_exp, cap)
 
     def _arm_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
+        """Push the RTO deadline out to ``now + rto_interval()``.
+
+        Lazy-deadline pattern: the deadline extension is just a float
+        store.  A timer event is only (re)scheduled when none is pending
+        or the deadline moved *earlier* (e.g. backoff reset); when the
+        existing event fires before the deadline it re-arms itself
+        instead of timing out (:meth:`_rto_fire`).
+        """
         if self.finished:
             return
-        self._rto_event = self.sim.schedule(self.rto_interval(), self._on_rto)
+        deadline = self.sim.now + self.rto_interval()
+        self._rto_deadline = deadline
+        event = self._rto_event
+        if event is not None and not event.cancelled and event.time <= deadline:
+            return
+        if event is not None:
+            event.cancel()
+        self._rto_event = self.sim.schedule(deadline - self.sim.now,
+                                            self._rto_fire)
+
+    def _rto_fire(self) -> None:
+        """Timer callback: time out only if the real deadline passed."""
+        self._rto_event = None
+        if self.finished:
+            return
+        if self.sim.now < self._rto_deadline:
+            # deadline was extended since this event was scheduled;
+            # sleep again until the current deadline
+            self._rto_event = self.sim.schedule(
+                self._rto_deadline - self.sim.now, self._rto_fire)
+            return
+        self._on_rto()
 
     def _on_rto(self) -> None:
         if self.finished:
@@ -317,7 +364,6 @@ class WindowSender:
         self.outstanding.clear()
         self.send_ptr = self.cum
         self.cc_on_rto()
-        self._rto_event = None
         self.try_send()
         if not self.outstanding:
             # nothing sendable (e.g. all delivered via SACK); re-arm anyway

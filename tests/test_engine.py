@@ -166,6 +166,56 @@ def test_events_always_fire_in_nondecreasing_time_order(delays):
     assert times == sorted(times)
 
 
+def test_live_pending_excludes_cancelled_entries():
+    sim = Simulator()
+    sim.schedule(1e-3, lambda: None)
+    dead = sim.schedule(2e-3, lambda: None)
+    dead.cancel()
+    assert sim.pending == 2       # raw heap length counts the corpse
+    assert sim.live_pending == 1  # diagnostics must not
+
+
+def test_budget_break_does_not_jump_clock():
+    """Regression: a ``run(until, max_events)`` slice that stops on the
+    event budget must NOT fast-forward the clock past still-pending
+    events — the next slice would then execute them with time going
+    backwards, corrupting every RTT sample taken in between."""
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i * 1e-3, lambda: None)
+    sim.run(until=10e-3, max_events=2)
+    # stopped at the second event's time, not at `until`
+    assert sim.now == pytest.approx(1e-3)
+    # resuming drains the rest and only then advances to `until`
+    times = []
+    sim.schedule_at(2e-3, lambda: times.append(sim.now))
+    sim.run(until=10e-3)
+    assert times == [pytest.approx(2e-3)]
+    assert sim.now == pytest.approx(10e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                max_size=40), st.data())
+def test_clock_monotonic_across_sliced_budgeted_draining(delays, data):
+    """Property: however a drain is sliced (`until` steps) and budgeted
+    (`max_events`), the observable clock — event fire times and the
+    post-slice ``sim.now`` — never decreases, and no event is lost."""
+    sim = Simulator()
+    observed = []  # interleaved event fire times and slice-end clocks
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    fired_total = 0
+    t = 0.0
+    while sim.peek_time() is not None:
+        t += data.draw(st.floats(min_value=0.01, max_value=0.4))
+        budget = data.draw(st.integers(min_value=1, max_value=4))
+        fired_total += sim.run(until=t, max_events=budget)
+        observed.append(sim.now)
+    assert fired_total == len(delays)
+    assert observed == sorted(observed)
+
+
 @settings(max_examples=25, deadline=None)
 @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2,
                 max_size=30), st.data())

@@ -1,0 +1,101 @@
+"""Parallel experiment executor: determinism, summaries, sweep wiring.
+
+The headline guarantee under test: ``sweep(..., jobs=N)`` and
+``run_grid(..., jobs=N)`` return **bit-identical** results to the serial
+path, in the same deterministic grid order — parallelism must be purely
+a wall-clock optimisation.
+"""
+
+import pickle
+
+from repro.core.ppt import Ppt
+from repro.experiments.parallel import (
+    GridTask,
+    RunSummary,
+    default_jobs,
+    run_grid,
+    scheme_grid,
+)
+from repro.experiments.runner import run
+from repro.experiments.scenarios import all_to_all_scenario, sim_fabric
+from repro.experiments.sweeps import load_sweep_variants, sweep
+from repro.transport.dctcp import Dctcp
+from repro.workloads.distributions import WEB_SEARCH
+
+TINY_FABRIC = sim_fabric(n_leaf=2, n_spine=2, hosts_per_leaf=2)
+
+
+def tiny_factory(load=0.4, seed=7):
+    return all_to_all_scenario(
+        f"par-{load}-{seed}", WEB_SEARCH, load=load, n_flows=8,
+        size_cap=200_000, seed=seed, fabric=TINY_FABRIC)
+
+
+def tiny_tasks():
+    return scheme_grid({"dctcp": Dctcp, "ppt": Ppt}, tiny_factory,
+                       load_sweep_variants([0.3, 0.5]))
+
+
+def test_parallel_sweep_bit_identical_to_serial():
+    factories = {"dctcp": Dctcp, "ppt": Ppt}
+    variants = load_sweep_variants([0.3, 0.5])
+    serial = sweep(factories, tiny_factory, variants)
+    parallel = sweep(factories, tiny_factory, variants, jobs=2)
+    # same rows, same order, same stats — dataclass equality is exact
+    assert parallel == serial
+
+
+def test_run_grid_parallel_equals_serial():
+    serial = run_grid(tiny_tasks())
+    parallel = run_grid(tiny_tasks(), jobs=2)
+    assert parallel == serial
+
+
+def test_grid_order_is_variants_outer_schemes_inner():
+    tasks = tiny_tasks()
+    assert [(t.scheme_key, t.params["load"]) for t in tasks] == [
+        ("dctcp", 0.3), ("ppt", 0.3), ("dctcp", 0.5), ("ppt", 0.5)]
+    summaries = run_grid(tasks, jobs=2)
+    assert [(s.scheme, s.params["load"]) for s in summaries] == [
+        ("dctcp", 0.3), ("ppt", 0.3), ("dctcp", 0.5), ("ppt", 0.5)]
+
+
+def test_summary_matches_full_result():
+    task = GridTask(scheme_factory=Dctcp, scenario_factory=tiny_factory,
+                    params={"load": 0.4}, scheme_key="dctcp")
+    summary = task.execute()
+    result = run(Dctcp(), tiny_factory(load=0.4))
+    assert summary.scheme == "dctcp"
+    assert summary.scenario == result.scenario_name
+    assert summary.stats == result.stats
+    assert summary.health == result.health
+    assert summary.completed == result.completed == summary.n_flows == 8
+    assert summary.wall_events == result.wall_events
+    assert summary.completion_rate == 1.0
+
+
+def test_summary_survives_pickling():
+    summary = run_grid(tiny_tasks()[:1])[0]
+    clone = pickle.loads(pickle.dumps(summary))
+    assert clone == summary
+    assert isinstance(clone, RunSummary)
+
+
+def test_progress_fires_once_per_cell_in_grid_order():
+    labels_serial, labels_parallel = [], []
+    run_grid(tiny_tasks(), progress=labels_serial.append)
+    run_grid(tiny_tasks(), jobs=2, progress=labels_parallel.append)
+    assert labels_serial == labels_parallel
+    assert len(labels_serial) == 4
+
+
+def test_jobs_minus_one_uses_default_jobs():
+    assert default_jobs() >= 1
+    summaries = run_grid(tiny_tasks()[:2], jobs=-1)
+    assert len(summaries) == 2
+
+
+def test_cli_jobs_flag():
+    from repro.cli import main
+    assert main(["run", "--schemes", "dctcp", "--flows", "8",
+                 "--jobs", "2", "--health"]) == 0

@@ -119,7 +119,26 @@ def test_retransmit_counters_harvested():
     assert h.fault_drops > 0
 
 
-def test_no_plan_and_empty_plan_are_bit_identical():
+def test_rto_recovery_counted_in_health():
+    # A blackout open from t=0 leaves no SACK feedback: recovery is
+    # timeout-driven, and the health layer must report it as retransmit
+    # work, not claim the run recovered for free.
+    plan = FaultPlan([LinkDown("sw0->sw1", 0.0, 0.002)])
+    result = run(Dctcp(), make_scenario(faults=plan))
+    h = result.health
+    assert h.completed == h.n_flows
+    assert h.rtos_total > 0
+    assert h.retransmits_total > 0
+
+
+def test_live_pending_reported_on_stall():
+    plan = FaultPlan([LinkDown("sw0->sw1", 0.0, 1000.0)])
+    result = run(Dctcp(), make_scenario(faults=plan, max_time=2.0))
+    h = result.health
+    assert h.stalled
+    # the stranded sender keeps a live RTO timer pending; the count in
+    # the diagnosis is of live events, not raw heap entries
+    assert h.live_pending >= 1
     # Zero-overhead guarantee: an absent plan and an empty plan must
     # produce the exact same simulation (event count and per-flow FCTs).
     plain = run(Dctcp(), make_scenario(n_flows=2))

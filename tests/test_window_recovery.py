@@ -102,3 +102,68 @@ def test_max_rto_defaults_sane():
     cfg = TransportConfig()
     assert cfg.max_rto >= cfg.min_rto
     assert cfg.rto_backoff > 1.0
+
+
+def test_base_rto_capped_by_max_rto():
+    # an srtt inflated by queueing must not let the un-backed-off base
+    # timeout exceed the cap that backoff itself respects
+    topo = make_dumbbell()
+    flow, sender = launch(Dctcp, topo, min_rto=1e-3, max_rto=16e-3)
+    sender.srtt = 1.0
+    assert sender.rto_backoff_exp == 0
+    assert sender.rto_interval() == pytest.approx(16e-3)
+    # backoff on top of the capped base stays capped too
+    sender.rto_backoff_exp = 3
+    assert sender.rto_interval() == pytest.approx(16e-3)
+
+
+def test_post_rto_resends_count_as_retransmissions():
+    """Regression: RTO recovery re-sends presumed-lost packets through
+    the plain try_send path; those are retransmissions and must be
+    counted as such (pre-fix they went out with ``retransmit=False``)."""
+    topo = make_dumbbell()
+    flow, sender = launch(Dctcp, topo, size=30_000)
+    # let the initial window leave the host, but nothing is ACKed yet
+    topo.sim.run(until=10e-6)
+    assert sender.pkts_transmitted > 0
+    assert sender.pkts_retransmitted == 0
+    before = sender.pkts_transmitted
+    sender._on_rto()  # presume everything in flight lost
+    resent = sender.pkts_transmitted - before
+    assert resent > 0
+    assert sender.pkts_retransmitted == resent
+
+
+def test_blackout_rto_recovery_is_visible_in_counters():
+    # blackout from t=0: no SACK feedback exists, so recovery is pure
+    # RTO — and that recovery work must show up in the counters
+    topo = make_dumbbell()
+    port = topo.network.port_named("sw0->sw1")
+    injector = LinkFaultInjector(topo.sim, port).attach()
+    injector.schedule_blackout(0.0, 0.005)
+    flow, sender = launch(Dctcp, topo, size=30_000, max_rto=8e-3)
+    topo.sim.run(until=2.0)
+    assert flow.completed
+    assert sender.rtos_fired >= 1
+    assert sender.pkts_retransmitted > 0
+
+
+def test_ack_clocking_does_not_churn_timers():
+    """The lazy-deadline RTO keeps one live timer per sender instead of
+    one cancelled heap entry per ACK: mid-transfer the heap must hold
+    (almost) no dead entries."""
+    topo = make_dumbbell()
+    flow, sender = launch(Dctcp, topo, size=300_000)
+    dead_counts = []
+
+    def probe():
+        dead_counts.append(topo.sim.pending - topo.sim.live_pending)
+        if not flow.completed:
+            topo.sim.schedule(50e-6, probe)
+
+    topo.sim.schedule(50e-6, probe)
+    topo.sim.run(until=2.0)
+    assert flow.completed
+    assert sender.acks_received > 100  # plenty of ACK-clocking happened
+    # at most the completion-time cancel is ever outstanding
+    assert max(dead_counts) <= 2
