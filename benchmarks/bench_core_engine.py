@@ -44,10 +44,14 @@ def _raw_heap_row():
             "seconds": elapsed, "events_per_sec": sim.events_run / elapsed}
 
 
-def _incast_row():
-    scenario = incast_scenario(
+def _bench_scenario():
+    return incast_scenario(
         "bench-core-incast", WEB_SEARCH, n_senders=16, load=0.6,
         n_flows=64, size_cap=500_000, seed=3)
+
+
+def _incast_row():
+    scenario = _bench_scenario()
     t0 = time.perf_counter()
     result = run(Dctcp(), scenario)
     elapsed = time.perf_counter() - t0
@@ -57,8 +61,21 @@ def _incast_row():
             "events_per_sec": result.wall_events / elapsed}
 
 
+def _observed_incast_row():
+    """The same incast with repro.obs telemetry attached — its per-slice
+    wall-clock profile *is* the events/sec measurement, and comparing
+    this row against ``dctcp-incast`` across commits bounds the
+    observation overhead (regression budget: <3%)."""
+    result = run(Dctcp(), _bench_scenario(), observe=True)
+    assert result.completed == len(result.flows), "incast must complete"
+    summary = result.telemetry.summary()
+    return {"bench": "dctcp-incast-observed", "events": summary.sim_events,
+            "seconds": summary.wall_seconds,
+            "events_per_sec": summary.events_per_sec}
+
+
 def _run_bench():
-    return {"rows": [_raw_heap_row(), _incast_row()]}
+    return {"rows": [_raw_heap_row(), _incast_row(), _observed_incast_row()]}
 
 
 def test_core_engine_events_per_sec(benchmark):

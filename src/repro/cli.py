@@ -38,8 +38,8 @@ from .core.ppt_hpcc import PptHpcc
 from .core.ppt_swift import PptSwift
 from .experiments import figures, tables
 from .faults import FaultPlan
-from .experiments.parallel import GridTask, run_grid
-from .experiments.runner import format_table
+from .experiments.parallel import GridTask, RunSummary, run_grid
+from .experiments.runner import format_table, run
 from .experiments.scenarios import (
     HOMA_RTT_BYTES_SIM,
     all_to_all_scenario,
@@ -139,8 +139,26 @@ def _health_label(health) -> str:
     return "ok"
 
 
+def _trace_out_path(template: str, scheme: str, multi: bool) -> str:
+    """Per-scheme trace path: insert the scheme name before the suffix
+    when more than one scheme runs, so files do not clobber each other."""
+    if not multi:
+        return template
+    if "." in template.rsplit("/", 1)[-1]:
+        stem, suffix = template.rsplit(".", 1)
+        return f"{stem}.{scheme}.{suffix}"
+    return f"{template}.{scheme}"
+
+
 def _cmd_run(args) -> int:
     cdf = WORKLOADS[args.workload]
+    observe = bool(args.trace or args.trace_out)
+    if args.trace_out and args.jobs not in (None, 0, 1):
+        # the full event trace never crosses the worker pipe (only the
+        # TelemetrySummary digest does), so exporting requires the
+        # in-process serial path
+        print("error: --trace-out requires --jobs 1", file=sys.stderr)
+        return 2
     faults = None
     if args.fault:
         try:
@@ -159,12 +177,29 @@ def _cmd_run(args) -> int:
             size_cap=args.size_cap, seed=args.seed,
             faults=faults, event_budget=args.event_budget)
 
-    tasks = [GridTask(scheme_factory=SCHEME_FACTORIES[name],
-                      scenario_factory=make_scenario,
-                      label=name, scheme_key=name)
-             for name in args.schemes]
     try:
-        summaries = run_grid(tasks, jobs=args.jobs)
+        if args.trace_out:
+            # serial, in-process: keep the full Telemetry so the event
+            # trace can be exported
+            summaries = []
+            multi = len(args.schemes) > 1
+            for name in args.schemes:
+                result = run(SCHEME_FACTORIES[name](), make_scenario(),
+                             observe=True)
+                summary = RunSummary.from_result(result)
+                summary.scheme = name
+                summaries.append(summary)
+                path = _trace_out_path(args.trace_out, name, multi)
+                written = result.telemetry.export_jsonl(path)
+                print(f"trace: {name}: {written} events -> {path}",
+                      file=sys.stderr)
+        else:
+            tasks = [GridTask(scheme_factory=SCHEME_FACTORIES[name],
+                              scenario_factory=make_scenario,
+                              label=name, scheme_key=name,
+                              observe=observe)
+                     for name in args.schemes]
+            summaries = run_grid(tasks, jobs=args.jobs)
     except KeyError as exc:
         # bad port name/glob in a fault spec surfaces at apply time
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -188,6 +223,8 @@ def _cmd_run(args) -> int:
         print(f"done: {name} ({summary.health.summary()})", file=sys.stderr)
         if summary.health.stalled:
             print(f"  stall: {summary.health.stall_reason}", file=sys.stderr)
+        if summary.telemetry is not None:
+            print(f"  trace: {summary.telemetry.describe()}", file=sys.stderr)
     print(format_table(rows))
     return 0
 
@@ -247,6 +284,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "deterministic order, identical to --jobs 1")
     run_p.add_argument("--health", action="store_true",
                        help="include run-health columns in the output table")
+    run_p.add_argument("--trace", action="store_true",
+                       help="run with repro.obs telemetry and print a "
+                            "per-scheme trace summary")
+    run_p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="export the event trace as JSONL (implies "
+                            "--trace; requires --jobs 1; with several "
+                            "schemes the scheme name is appended to PATH)")
     run_p.set_defaults(fn=_cmd_run)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")

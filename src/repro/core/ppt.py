@@ -103,12 +103,22 @@ class PptSender(DctcpSender):
 
 
 class PptReceiver(WindowReceiver):
-    """Receiver with the 2:1 low-priority ACK rule (§3.2, §5.2)."""
+    """Receiver with the 2:1 low-priority ACK rule (§3.2, §5.2).
+
+    An LP data packet with no pair yet is *pending*: its ACK rides the
+    next LP arrival.  The pending entry must never be stranded — the
+    final LP packet of an odd-count batch used to sit un-acked until the
+    sender's RTO re-sent it.  Two flushes close that hole: a short
+    delayed-ACK timer (``config.lp_ack_delay``), and an immediate flush
+    when the flow completes (via either loop).
+    """
 
     def __init__(self, flow: Flow, ctx: TransportContext) -> None:
         super().__init__(flow, ctx)
         self._lp_pending: list = []
         self._lp_pending_ce = False
+        self._lp_last_pkt: Packet = None
+        self._lp_flush_event = None
         self.lp_pkts_received = 0
         self.lp_acks_sent = 0
 
@@ -117,6 +127,10 @@ class PptReceiver(WindowReceiver):
             self._on_lp_data(pkt)
             return
         super().on_packet(pkt)
+        if self._done:
+            # flow completed through the HP path with an odd LP packet
+            # still pending — acknowledge it now, not at the sender's RTO
+            self._flush_lp_pending()
 
     def _on_lp_data(self, pkt: Packet) -> None:
         self.data_pkts_received += 1
@@ -129,10 +143,15 @@ class PptReceiver(WindowReceiver):
                 self.cum += 1
         self._lp_pending.append(pkt.seq)
         self._lp_pending_ce = self._lp_pending_ce or pkt.ecn_ce
+        self._lp_last_pkt = pkt
         if len(self._lp_pending) >= 2:
             self._send_lp_ack(pkt)
+        elif self._lp_flush_event is None:
+            self._lp_flush_event = self.ctx.sim.schedule(
+                self.ctx.config.lp_ack_delay, self._lp_delayed_flush)
         if not self._done and len(self.delivered) >= self.n_packets:
             self._done = True
+            self._flush_lp_pending()
             self.ctx.on_complete(self.flow)
 
     def _send_lp_ack(self, pkt: Packet) -> None:
@@ -142,8 +161,28 @@ class PptReceiver(WindowReceiver):
         ack.sack = tuple(self._lp_pending)
         self._lp_pending = []
         self._lp_pending_ce = False
+        self._cancel_lp_flush()
         self.lp_acks_sent += 1
         self.ctx.network.send_control(ack)
+
+    # -- pending-tail flushes ---------------------------------------------
+
+    def _cancel_lp_flush(self) -> None:
+        if self._lp_flush_event is not None:
+            self._lp_flush_event.cancel()
+            self._lp_flush_event = None
+
+    def _lp_delayed_flush(self) -> None:
+        """Delayed-ACK timer: acknowledge a pending odd LP packet."""
+        self._lp_flush_event = None
+        if self._lp_pending:
+            self._send_lp_ack(self._lp_last_pkt)
+
+    def _flush_lp_pending(self) -> None:
+        """Immediately acknowledge whatever is pending (flow done)."""
+        self._cancel_lp_flush()
+        if self._lp_pending:
+            self._send_lp_ack(self._lp_last_pkt)
 
 
 class Ppt(Scheme):

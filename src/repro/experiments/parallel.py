@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..metrics.fct import FctStats
+from ..obs.telemetry import TelemetrySummary
 from ..transport.base import Scheme
 from .runner import RunHealth, RunResult, Scenario, run
 
@@ -55,7 +56,10 @@ class RunSummary:
 
     Carries only plain data (dataclasses of numbers, strings and small
     containers), so it crosses process boundaries cheaply and can be
-    archived as JSON.
+    archived as JSON.  ``telemetry`` is the equally slim
+    :class:`~repro.obs.TelemetrySummary` rollup when the cell ran
+    observed (the full event trace stays in the worker; only the digest
+    crosses the pipe, merged in grid order exactly like the rest).
     """
 
     scheme: str
@@ -66,6 +70,7 @@ class RunSummary:
     completed: int
     n_flows: int
     wall_events: int
+    telemetry: Optional[TelemetrySummary] = None
 
     @classmethod
     def from_result(cls, result: RunResult,
@@ -80,6 +85,8 @@ class RunSummary:
             completed=result.completed,
             n_flows=len(result.flows),
             wall_events=result.wall_events,
+            telemetry=(result.telemetry.summary()
+                       if result.telemetry is not None else None),
         )
 
     @property
@@ -104,10 +111,13 @@ class GridTask:
     # key, which can differ from ``Scheme.name``); empty = use the
     # scheme's own name.
     scheme_key: str = ""
+    # Run the cell with repro.obs telemetry; only the TelemetrySummary
+    # digest comes back (the event trace is not picklable at scale).
+    observe: bool = False
 
     def execute(self) -> RunSummary:
         scenario = self.scenario_factory(**self.params)
-        result = run(self.scheme_factory(), scenario)
+        result = run(self.scheme_factory(), scenario, observe=self.observe)
         summary = RunSummary.from_result(result, self.params)
         if self.scheme_key:
             summary.scheme = self.scheme_key

@@ -25,12 +25,14 @@ is what makes the two-pass *hypothetical DCTCP* construction
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.hypothetical import HypotheticalDctcp, MwRecordingDctcp
 from ..faults.plan import ActiveFaults, FaultPlan
 from ..metrics.fct import FctStats
+from ..obs.telemetry import Telemetry
 from ..sim.network import Network
 from ..sim.topology import Topology
 from ..transport.base import Flow, Scheme, TransportConfig, TransportContext
@@ -125,6 +127,9 @@ class RunResult:
     ctx: TransportContext
     wall_events: int
     health: RunHealth = field(default_factory=RunHealth)
+    # The run's Telemetry (event trace + counter snapshots + profile)
+    # when ``run(..., observe=...)`` asked for one; None otherwise.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def completed(self) -> int:
@@ -175,37 +180,97 @@ def _collect_flow_counters(network: Network, health: RunHealth) -> None:
             health.rtos_total += getattr(endpoint, "rtos_fired", 0)
 
 
+def _resolve_observe(observe: Union[None, bool, Telemetry]) -> Optional[Telemetry]:
+    """``observe=`` accepts False/None (off), True (fresh default
+    Telemetry) or a preconfigured :class:`~repro.obs.Telemetry`."""
+    if observe is None or observe is False:
+        return None
+    if observe is True:
+        return Telemetry()
+    if isinstance(observe, Telemetry):
+        return observe
+    raise TypeError(f"observe must be bool or Telemetry, got {observe!r}")
+
+
+def _observed_start(scheme: Scheme, flow: Flow, ctx: TransportContext,
+                    telemetry: Telemetry) -> None:
+    telemetry.on_flow_start(flow)
+    scheme.start_flow(flow, ctx)
+
+
+def _stop_instruments(obj) -> None:
+    """Recursively ``stop()`` whatever an ``instruments`` callback (or a
+    figure driver) hung onto: a sampler, or any nesting of
+    lists/tuples/dicts of them.  Objects without ``stop`` are ignored."""
+    if obj is None:
+        return
+    if isinstance(obj, (list, tuple, set)):
+        for item in obj:
+            _stop_instruments(item)
+        return
+    if isinstance(obj, dict):
+        for item in obj.values():
+            _stop_instruments(item)
+        return
+    stop = getattr(obj, "stop", None)
+    if callable(stop):
+        stop()
+
+
 def run(
     scheme: Scheme,
     scenario: Scenario,
     *,
     instruments: Optional[Callable[[Topology], object]] = None,
+    observe: Union[None, bool, Telemetry] = None,
 ) -> RunResult:
     """Execute ``scheme`` on ``scenario``; returns results when all flows
     finish or the watchdog stops the run (stall, event budget, heap
     exhaustion, ``max_time``).
 
-    ``instruments`` may attach samplers to the freshly built topology
-    before any flow starts; whatever it returns is stored on the result's
-    ``ctx.extra['instruments']``.
+    ``observe`` opts the run into :mod:`repro.obs` telemetry: ``True``
+    builds a default :class:`~repro.obs.Telemetry`, or pass your own
+    (e.g. with a larger ring capacity).  The finalized object lands on
+    ``result.telemetry``.  When off (the default) every hook site stays
+    ``None`` and the run is bit-identical to an unobserved one.
+
+    ``instruments`` (the older, narrower mechanism ``observe`` subsumes)
+    may attach samplers to the freshly built topology before any flow
+    starts; whatever it returns is stored on the result's
+    ``ctx.extra['instruments']`` and stopped at drain end.
     """
+    telemetry = _resolve_observe(observe)
     topo = scenario.build_topology()
     scheme.configure_network(topo.network)
     faults: Optional[ActiveFaults] = None
     if scenario.faults is not None:
         faults = scenario.faults.apply(topo.network, topo.sim)
     flows = scenario.build_flows(topo)
-    ctx = TransportContext(topo.sim, topo.network, scenario.config)
+    on_complete = None
+    if telemetry is not None:
+        telemetry.attach(topo.sim, topo.network, faults)
+        on_complete = telemetry.on_flow_complete
+    ctx = TransportContext(topo.sim, topo.network, scenario.config,
+                           on_complete=on_complete)
+    ctx.telemetry = telemetry
     if faults is not None:
         ctx.extra["faults"] = faults
     if instruments is not None:
         ctx.extra["instruments"] = instruments(topo)
 
     for flow in flows:
-        topo.sim.schedule_at(flow.start_time, scheme.start_flow, flow, ctx)
+        if telemetry is None:
+            topo.sim.schedule_at(flow.start_time, scheme.start_flow, flow, ctx)
+        else:
+            topo.sim.schedule_at(flow.start_time, _observed_start,
+                                 scheme, flow, ctx, telemetry)
 
-    health = _drain(topo.sim, ctx, flows, scenario, faults, topo.network)
+    health = _drain(topo.sim, ctx, flows, scenario, faults, topo.network,
+                    telemetry)
     _collect_flow_counters(topo.network, health)
+    _stop_instruments(ctx.extra.get("instruments"))
+    if telemetry is not None:
+        telemetry.finalize(topo.network, flows)
 
     stats = FctStats.from_flows(flows)
     return RunResult(
@@ -217,11 +282,13 @@ def run(
         ctx=ctx,
         wall_events=topo.sim.events_run,
         health=health,
+        telemetry=telemetry,
     )
 
 
 def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
-           faults: Optional[ActiveFaults], network: Network) -> RunHealth:
+           faults: Optional[ActiveFaults], network: Network,
+           telemetry: Optional[Telemetry] = None) -> RunHealth:
     """Drain the simulator in slices under the run-health watchdog."""
     n_flows = len(flows)
     health = RunHealth(n_flows=n_flows)
@@ -244,7 +311,10 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
     heap_empty = False
     watchdog_tripped = False
     while len(ctx.completed) < n_flows and t < scenario.max_time:
-        t += slice_len
+        # clamp the final slice: ``t`` stepping past ``max_time`` would
+        # let the run simulate (and bill) up to one slice beyond the
+        # scenario's stated horizon
+        t = min(t + slice_len, scenario.max_time)
         max_events = None
         if scenario.event_budget is not None:
             remaining = scenario.event_budget - sim.events_run
@@ -252,7 +322,13 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
                 health.event_budget_exceeded = True
                 break
             max_events = remaining
-        sim.run(until=t, max_events=max_events)
+        if telemetry is None:
+            sim.run(until=t, max_events=max_events)
+        else:
+            wall_start = _time.perf_counter()
+            executed = sim.run(until=t, max_events=max_events)
+            telemetry.record_slice(t, executed,
+                                   _time.perf_counter() - wall_start)
         if (scenario.event_budget is not None
                 and sim.events_run >= scenario.event_budget):
             health.event_budget_exceeded = True

@@ -77,6 +77,10 @@ class LinkFaultInjector(Injector):
         self.is_down = False
         self.down_intervals: List[List[float]] = []  # [start, end|inf]
         self.transitions = 0
+        # Telemetry hook, fired as ``hook(port, is_down)`` on every
+        # open/close transition; chain additional consumers with
+        # :func:`repro.obs.hooks.chain` rather than assigning over it.
+        self.transition_hook = None
 
     # -- schedule targets -------------------------------------------------
 
@@ -87,6 +91,8 @@ class LinkFaultInjector(Injector):
         self.transitions += 1
         self.down_intervals.append([self.sim.now, INFINITY])
         self.pkts_dropped += self.port.mux.flush()
+        if self.transition_hook is not None:
+            self.transition_hook(self.port, True)
 
     def up(self) -> None:
         if not self.is_down:
@@ -94,6 +100,8 @@ class LinkFaultInjector(Injector):
         self.is_down = False
         self.transitions += 1
         self.down_intervals[-1][1] = self.sim.now
+        if self.transition_hook is not None:
+            self.transition_hook(self.port, False)
 
     def schedule_blackout(self, start: float, duration: float) -> None:
         self.sim.schedule_at(start, self.down)

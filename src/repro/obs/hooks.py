@@ -1,0 +1,35 @@
+"""Chained-hook core: compose per-event callbacks instead of replacing.
+
+Every per-event hook site in the simulator (queue drops, ECN marks,
+trims, fault transitions, ...) is a single attribute that is ``None``
+when nobody is listening — the hot path pays one ``None``-check and
+nothing else.  When more than one consumer wants the same hook (say a
+:class:`~repro.sim.trace.DropTracer` *and* a
+:class:`~repro.obs.telemetry.Telemetry`), :func:`chain` composes them so
+attaching one never silently disables the other.  Callbacks run in
+attach order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+def chain(existing: Optional[Callable], fn: Optional[Callable]) -> Optional[Callable]:
+    """Compose two hook callbacks; either may be ``None``.
+
+    Returns a callable invoking ``existing`` then ``fn`` with the same
+    arguments (return values are ignored — hooks observe, they do not
+    veto).  ``chain(None, fn) is fn`` so a single consumer costs no
+    extra frame.
+    """
+    if existing is None:
+        return fn
+    if fn is None:
+        return existing
+
+    def chained(*args):
+        existing(*args)
+        fn(*args)
+
+    return chained

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
+from ..obs.hooks import chain
 from .packet import HEADER, HEADER_BYTES, NUM_PRIORITIES, Packet
 
 
@@ -91,7 +92,7 @@ class PriorityMux:
         "trim_threshold_bytes",
         "selective_drop_threshold", "lp_buffer_cap", "dt_alphas",
         "queues", "occupancy", "queue_occupancy", "lp_occupancy",
-        "stats", "drop_hook",
+        "stats", "drop_hook", "mark_hook", "trim_hook",
     )
 
     def __init__(
@@ -135,8 +136,26 @@ class PriorityMux:
         self.queue_occupancy = [0] * NUM_PRIORITIES
         self.lp_occupancy = 0
         self.stats = QueueStats()
-        # Optional callback fired with each dropped packet (loss tracing).
+        # Optional per-event hooks (None = nobody listening, one branch
+        # on the hot path).  Attach via add_*_hook, which *chains*
+        # callbacks — a second consumer never displaces the first.
         self.drop_hook: Optional[Callable[[Packet], None]] = None
+        self.mark_hook: Optional[Callable[[Packet], None]] = None
+        self.trim_hook: Optional[Callable[[Packet], None]] = None
+
+    # -- hook wiring ------------------------------------------------------
+
+    def add_drop_hook(self, fn: Callable[[Packet], None]) -> None:
+        """Chain ``fn`` onto the drop hook (fired per dropped packet)."""
+        self.drop_hook = chain(self.drop_hook, fn)
+
+    def add_mark_hook(self, fn: Callable[[Packet], None]) -> None:
+        """Chain ``fn`` onto the ECN-mark hook (fired per CE mark)."""
+        self.mark_hook = chain(self.mark_hook, fn)
+
+    def add_trim_hook(self, fn: Callable[[Packet], None]) -> None:
+        """Chain ``fn`` onto the trim hook (fired per admitted trim)."""
+        self.trim_hook = chain(self.trim_hook, fn)
 
     # -- enqueue ---------------------------------------------------------
 
@@ -144,21 +163,27 @@ class PriorityMux:
         """Admit ``pkt``; returns False when it was dropped.
 
         Trimmed packets (NDP) count as admitted — the header survives.
+        Accounting invariant: every arrival ends up as exactly one of
+        ``enqueued`` or ``dropped`` (a trimmed-then-dropped packet is a
+        drop, not a trim), and a dropped packet's ``bytes_dropped``
+        reflect its size *on arrival*, before any trim shrank it.
         """
         stats = self.stats
+        arrival_size = pkt.size
+        trimmed = False
         # Aeolus selective dropping of pre-credit packets.
         if (
             self.selective_drop_threshold is not None
             and pkt.unscheduled
             and self.occupancy > self.selective_drop_threshold
         ):
-            self._drop(pkt)
+            self._drop(pkt, arrival_size)
             return False
 
         # RC3 variant: cap buffer available to the low-priority loop.
         if self.lp_buffer_cap is not None and pkt.lcp:
             if self.lp_occupancy + pkt.size > self.lp_buffer_cap:
-                self._drop(pkt)
+                self._drop(pkt, arrival_size)
                 return False
 
         # NDP trimming: cut the payload as soon as the data queue exceeds
@@ -173,7 +198,7 @@ class PriorityMux:
             > self.trim_threshold_bytes
         ):
             pkt.trim()
-            stats.trimmed += 1
+            trimmed = True
 
         over_shared = self.occupancy + pkt.size > self.buffer_bytes
         over_dt = (
@@ -186,12 +211,12 @@ class PriorityMux:
             if self.trim and pkt.kind != HEADER and pkt.size > HEADER_BYTES:
                 # buffer exhausted: last-resort trim
                 pkt.trim()
-                stats.trimmed += 1
+                trimmed = True
                 if self.occupancy + pkt.size > self.buffer_bytes:
-                    self._drop(pkt)
+                    self._drop(pkt, arrival_size)
                     return False
             else:
-                self._drop(pkt)
+                self._drop(pkt, arrival_size)
                 return False
 
         # ECN marking on arrival (RED with min == max == K, per Eq. 3).
@@ -209,7 +234,14 @@ class PriorityMux:
             if occupancy >= threshold:
                 pkt.ecn_ce = True
                 stats.marked += 1
+                if self.mark_hook is not None:
+                    self.mark_hook(pkt)
 
+        if trimmed:
+            # counted only now that the header actually survived
+            stats.trimmed += 1
+            if self.trim_hook is not None:
+                self.trim_hook(pkt)
         self.queues[pkt.priority].append(pkt)
         self.occupancy += pkt.size
         self.queue_occupancy[pkt.priority] += pkt.size
@@ -219,9 +251,9 @@ class PriorityMux:
         stats.bytes_enqueued += pkt.size
         return True
 
-    def _drop(self, pkt: Packet) -> None:
+    def _drop(self, pkt: Packet, size: Optional[int] = None) -> None:
         self.stats.dropped += 1
-        self.stats.bytes_dropped += pkt.size
+        self.stats.bytes_dropped += pkt.size if size is None else size
         if self.drop_hook is not None:
             self.drop_hook(pkt)
 

@@ -45,9 +45,15 @@ class DropTracer:
 
     @classmethod
     def attach(cls, network: Network) -> "DropTracer":
+        """Chain this tracer onto every port's drop hook.
+
+        Chaining (not assignment) means attaching a tracer never
+        disables a previously installed hook — telemetry and multiple
+        tracers observe the same drops side by side.
+        """
         tracer = cls()
         for port in network.ports:
-            port.mux.drop_hook = tracer._make_hook(port)
+            port.mux.add_drop_hook(tracer._make_hook(port))
         return tracer
 
     def _make_hook(self, port):
@@ -90,25 +96,32 @@ class DropTracer:
 
 
 class MarkTracer:
-    """Counts ECN marks per port by sampling the mux counters.
+    """Counts ECN marks per port from the muxes' chained mark hooks.
 
-    Marks have no hook (they are not exceptional events), so this tracer
-    snapshots the ``marked`` counters before/after a run.
+    Counting starts at construction (the old snapshot-delta semantics),
+    but the counts now come from live hook callbacks, so several
+    tracers — or a tracer plus a :class:`~repro.obs.Telemetry` — can
+    watch the same ports concurrently.
     """
 
     def __init__(self, network: Network) -> None:
         self.network = network
+        self._counts: Counter = Counter()
+        # kept for introspection/backwards compatibility: the counter
+        # values at construction time
         self._baseline: Dict[str, int] = {
             port.name: port.mux.stats.marked for port in network.ports}
+        for port in network.ports:
+            port.mux.add_mark_hook(self._make_hook(port.name))
+
+    def _make_hook(self, port_name: str):
+        def hook(pkt: Packet) -> None:
+            self._counts[port_name] += 1
+        return hook
 
     def delta(self) -> Dict[str, int]:
         """Marks since construction, per port (zero entries omitted)."""
-        out = {}
-        for port in self.network.ports:
-            d = port.mux.stats.marked - self._baseline.get(port.name, 0)
-            if d:
-                out[port.name] = d
-        return out
+        return {name: count for name, count in self._counts.items() if count}
 
     def total(self) -> int:
-        return sum(self.delta().values())
+        return sum(self._counts.values())

@@ -80,6 +80,10 @@ class TransportConfig:
     send_buffer_bytes: int = 2_000_000_000
     # Large-flow identification threshold (Table 3: 100KB in the testbed).
     identification_threshold: int = 100_000
+    # Delayed-ACK timer for PPT's 2:1 low-priority ACKs: an odd LP data
+    # packet left un-acked (no pair arrived) is acknowledged after this
+    # delay instead of waiting for the sender's RTO.
+    lp_ack_delay: float = 5e-4
     # PIAS-style demotion thresholds (bytes sent) for priorities 0->1->2->3.
     demotion_thresholds: tuple = (100_000, 1_000_000, 10_000_000)
 
@@ -105,6 +109,9 @@ class TransportContext:
         # Registry so PPT senders can consult per-host shared state
         # (e.g. the send-buffer model) if needed.
         self.extra: Dict[str, object] = {}
+        # The run's Telemetry (repro.obs), or None for an unobserved
+        # run; endpoints read this once at construction.
+        self.telemetry = None
 
     def on_complete(self, flow: Flow) -> None:
         flow.finish_time = self.sim.now

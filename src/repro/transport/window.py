@@ -113,6 +113,10 @@ class WindowSender:
         self.acks_received = 0
         self.rtos_fired = 0
 
+        # telemetry hook sites (repro.obs): None when the run is not
+        # observed — the hot paths then pay one branch and nothing else
+        self.obs = ctx.telemetry
+
         # timers — a single lazy-deadline RTO: `_rto_deadline` is the
         # authoritative timeout and is merely *extended* on each ACK/send;
         # the scheduled event re-checks it on fire instead of being
@@ -188,6 +192,8 @@ class WindowSender:
         self.pkts_transmitted += 1
         if retransmit:
             self.pkts_retransmitted += 1
+            if self.obs is not None:
+                self.obs.on_retransmit(self.sim.now, self.flow.flow_id, seq)
         self.host.send(pkt)
         self._arm_rto()
 
@@ -358,6 +364,8 @@ class WindowSender:
             return
         self.host.ops_sent += 1  # timer work counts as datapath ops
         self.rtos_fired += 1
+        if self.obs is not None:
+            self.obs.on_rto(self.sim.now, self.flow.flow_id)
         if self.rto_backoff_exp < self.MAX_BACKOFF_EXP:
             self.rto_backoff_exp += 1
         # Everything in flight is presumed lost.

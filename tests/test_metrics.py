@@ -182,3 +182,66 @@ def test_ppt_overhead_scales_with_lp_traffic():
     ops_ppt = collect_cpu(topo2.network, f2.finish_time).total_ops
     assert ops_ppt >= ops_dctcp * 0.9
     assert ops_ppt <= ops_dctcp * 2.5
+
+
+# -- sampler lifecycle ---------------------------------------------------------
+
+
+def test_sampler_stop_cancels_pending_tick():
+    topo = make_star(3)
+    port = topo.network.port_to_host(2)
+    sampler = LinkUtilizationSampler(topo.sim, port, 10e-6)
+    topo.sim.run(until=35e-6)
+    n = len(sampler.samples)
+    assert n > 0
+    sampler.stop()
+    assert sampler.stopped
+    assert sampler._pending is None
+    topo.sim.run(until=200e-6)
+    assert len(sampler.samples) == n  # never fired again
+
+
+def test_sampler_auto_stops_when_fabric_idle():
+    """Once nothing but sampler timers remains in the heap, the sampler
+    stops rescheduling instead of keeping the heap warm forever."""
+    topo = make_star(3)
+    scheme = Dctcp()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 2, 50_000, 0.0)
+    port = topo.network.port_to_host(2)
+    sampler = LinkUtilizationSampler(topo.sim, port, 20e-6)
+    scheme.start_flow(flow, ctx)
+    topo.sim.run(until=10.0)
+    assert flow.completed
+    assert sampler.stopped
+    assert sampler.samples
+    # the heap fully drained — the runner's heap-empty early exit works
+    assert topo.sim.live_pending == 0
+
+
+def test_occupancy_sampler_auto_stops_too():
+    topo = make_star(3)
+    scheme = Dctcp()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 2, 50_000, 0.0)
+    sampler = BufferOccupancySampler(
+        topo.sim, topo.network.port_to_host(2), 20e-6)
+    scheme.start_flow(flow, ctx)
+    topo.sim.run(until=10.0)
+    assert flow.completed
+    assert sampler.stopped
+    assert topo.sim.live_pending == 0
+
+
+def test_two_samplers_both_auto_stop():
+    topo = make_star(3)
+    scheme = Dctcp()
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 2, 50_000, 0.0)
+    port = topo.network.port_to_host(2)
+    util = LinkUtilizationSampler(topo.sim, port, 20e-6)
+    occ = BufferOccupancySampler(topo.sim, port, 30e-6)
+    scheme.start_flow(flow, ctx)
+    topo.sim.run(until=10.0)
+    assert util.stopped and occ.stopped
+    assert topo.sim.live_pending == 0

@@ -1,0 +1,286 @@
+"""Tests for the unified run telemetry subsystem (repro.obs)."""
+
+import pickle
+
+import pytest
+
+from conftest import quick_qcfg
+from repro.experiments.parallel import GridTask, run_grid
+from repro.experiments.runner import run
+from repro.experiments.scenarios import incast_scenario
+from repro.faults import FaultPlan, LinkDown
+from repro.obs import (
+    DROP,
+    FAULT_DOWN,
+    FAULT_UP,
+    FLOW_COMPLETE,
+    FLOW_START,
+    MARK,
+    Telemetry,
+    TelemetrySummary,
+    TraceEvent,
+    chain,
+    load_jsonl,
+)
+from repro.sim.topology import dumbbell
+from repro.sim.trace import DropTracer
+from repro.transport.base import Flow, TransportConfig
+from repro.transport.dctcp import Dctcp
+from repro.units import gbps, us
+from repro.workloads.distributions import WEB_SEARCH
+
+
+def incast(seed=3, **kwargs):
+    params = dict(n_senders=8, n_flows=24, seed=seed)
+    params.update(kwargs)
+    return incast_scenario("obs-incast", WEB_SEARCH, **params)
+
+
+def blackout_scenario(max_time=2.0):
+    """One large flow through a 10G dumbbell with a mid-flow blackout."""
+
+    def build_topology():
+        return dumbbell(rate=gbps(10), prop_delay=us(5), qcfg=quick_qcfg())
+
+    def build_flows(topo):
+        return [Flow(0, 0, 1, 300_000, 0.0)]
+
+    plan = FaultPlan([LinkDown("sw0->sw1", 0.0002, 0.002)])
+    return Scenario_("obs-fault", build_topology, build_flows,
+                     max_time=max_time, faults=plan)
+
+
+def Scenario_(name, build_topology, build_flows, **kwargs):
+    from repro.experiments.runner import Scenario
+    kwargs.setdefault("config", TransportConfig(min_rto=1e-3))
+    return Scenario(name, build_topology, build_flows, **kwargs)
+
+
+# -- chain() ---------------------------------------------------------------
+
+
+def test_chain_identities():
+    fn = lambda pkt: None
+    assert chain(None, fn) is fn
+    assert chain(fn, None) is fn
+    assert chain(None, None) is None
+
+
+def test_chain_calls_in_attach_order():
+    calls = []
+    chained = chain(lambda x: calls.append(("a", x)),
+                    lambda x: calls.append(("b", x)))
+    chained(7)
+    assert calls == [("a", 7), ("b", 7)]
+
+
+def test_chain_composes_three():
+    calls = []
+    fn = None
+    for tag in "abc":
+        fn = chain(fn, lambda x, tag=tag: calls.append(tag))
+    fn(0)
+    assert calls == ["a", "b", "c"]
+
+
+# -- TraceEvent / ring buffer ----------------------------------------------
+
+
+def test_trace_event_dict_round_trip():
+    event = TraceEvent(1.5e-3, DROP, port="leaf0->spine1", flow_id=3,
+                       seq=17, priority=2)
+    back = TraceEvent.from_dict(event.to_dict())
+    for name in TraceEvent.__slots__:
+        assert getattr(back, name) == getattr(event, name)
+
+
+def test_trace_event_omits_defaults():
+    assert TraceEvent(0.0, FLOW_START, flow_id=1).to_dict() == {
+        "t": 0.0, "kind": FLOW_START, "flow": 1}
+
+
+def test_ring_buffer_bounds_memory_but_counts_everything():
+    telem = Telemetry(capacity=4)
+    for i in range(10):
+        telem.record(DROP, float(i), flow_id=i)
+    assert len(telem) == 4
+    assert telem.events_seen == 10
+    assert telem.counts[DROP] == 10
+    assert [e.flow_id for e in telem.iter_events()] == [6, 7, 8, 9]
+    summary = telem.summary()
+    assert summary.events_seen == 10
+    assert summary.events_kept == 4
+    assert "kept 4/10" in summary.describe()
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ValueError):
+        Telemetry(capacity=0)
+
+
+def test_telemetry_is_single_run():
+    scenario = incast()
+    telem = run(Dctcp(), scenario, observe=True).telemetry
+    with pytest.raises(RuntimeError):
+        run(Dctcp(), incast(), observe=telem)
+
+
+# -- equivalence: observed runs change nothing -----------------------------
+
+
+def test_observed_run_is_bit_identical():
+    bare = run(Dctcp(), incast())
+    observed = run(Dctcp(), incast(), observe=True)
+    assert observed.stats == bare.stats
+    assert observed.wall_events == bare.wall_events
+    assert [f.fct for f in observed.flows] == [f.fct for f in bare.flows]
+    assert bare.telemetry is None
+    assert observed.telemetry is not None
+
+
+def test_observe_flag_forms():
+    assert run(Dctcp(), incast(), observe=False).telemetry is None
+    telem = Telemetry(capacity=128)
+    assert run(Dctcp(), incast(), observe=telem).telemetry is telem
+    with pytest.raises(TypeError):
+        run(Dctcp(), incast(), observe="yes")
+
+
+# -- summary vs. the simulator's own counters ------------------------------
+
+
+def test_summary_matches_network_counters():
+    result = run(Dctcp(), incast(), observe=True)
+    telem = result.telemetry
+    summary = telem.summary()
+    network = result.topology.network
+    assert summary.drops == network.total_drops()
+    assert summary.marks == network.total_marked()
+    assert summary.retransmits == result.health.retransmits_total
+    assert summary.rtos == result.health.rtos_total
+    assert summary.flows_started == len(result.flows)
+    assert summary.flows_completed == result.completed
+    # the trace saw every drop/mark the counters saw (no overflow here)
+    assert summary.counts.get(DROP, 0) == summary.drops
+    assert summary.counts.get(MARK, 0) == summary.marks
+    assert summary.events_seen == summary.events_kept
+
+
+def test_flow_counters_harvested():
+    result = run(Dctcp(), incast(), observe=True)
+    counters = result.telemetry.flow_counters
+    assert set(counters) == {f.flow_id for f in result.flows}
+    assert all(c["completed"] for c in counters.values())
+    assert sum(c["retransmits"] for c in counters.values()) \
+        == result.health.retransmits_total
+
+
+def test_profile_feeds_events_per_sec():
+    result = run(Dctcp(), incast(), observe=True)
+    summary = result.telemetry.summary()
+    assert summary.slices == len(result.telemetry.profile) > 0
+    assert summary.sim_events == result.wall_events
+    assert summary.wall_seconds > 0.0
+    assert summary.events_per_sec > 0.0
+
+
+def test_fault_transitions_traced():
+    result = run(Dctcp(), blackout_scenario(), observe=True)
+    telem = result.telemetry
+    downs = list(telem.iter_events(FAULT_DOWN))
+    ups = list(telem.iter_events(FAULT_UP))
+    assert len(downs) == len(ups) == 1
+    assert downs[0].port == "sw0->sw1"
+    assert downs[0].time == pytest.approx(0.0002)
+    assert ups[0].time == pytest.approx(0.0022)
+    assert result.health.ok
+    # under faults, the rollup still agrees with the simulator's counters
+    summary = telem.summary()
+    assert summary.drops == result.topology.network.total_drops()
+    assert summary.retransmits == result.health.retransmits_total > 0
+    assert summary.rtos == result.health.rtos_total
+
+
+def test_flow_lifecycle_traced_in_order():
+    result = run(Dctcp(), incast(), observe=True)
+    telem = result.telemetry
+    starts = list(telem.iter_events(FLOW_START))
+    completes = list(telem.iter_events(FLOW_COMPLETE))
+    assert len(starts) == len(completes) == len(result.flows)
+    times = [e.time for e in telem.iter_events()]
+    assert times == sorted(times)  # trace is in simulated-time order
+
+
+# -- coexistence with the legacy tracers -----------------------------------
+
+
+def test_drop_tracer_and_telemetry_chain():
+    scenario = incast()
+    topo = scenario.build_topology()
+    tracer = DropTracer.attach(topo.network)  # legacy hook consumer first
+    telem = Telemetry().attach(topo.sim, topo.network)
+
+    flows = scenario.build_flows(topo)
+    scheme = Dctcp()
+    scheme.configure_network(topo.network)
+    from repro.transport.base import TransportContext
+    ctx = TransportContext(topo.sim, topo.network, scenario.config)
+    for flow in flows:
+        topo.sim.schedule_at(flow.start_time, lambda f=flow:
+                             scheme.start_flow(f, ctx))
+    topo.sim.run(until=scenario.max_time)
+    # chaining: both consumers saw every drop the counters saw
+    assert len(tracer) == topo.network.total_drops() > 0
+    assert telem.counts.get(DROP, 0) == topo.network.total_drops()
+
+
+# -- JSONL persistence -----------------------------------------------------
+
+
+def test_jsonl_round_trip(tmp_path):
+    result = run(Dctcp(), incast(), observe=True)
+    telem = result.telemetry
+    path = tmp_path / "trace.jsonl"
+    written = telem.export_jsonl(path)
+    assert written == len(telem)
+    loaded = load_jsonl(path)
+    assert len(loaded) == written
+    for original, back in zip(telem.iter_events(), loaded):
+        for name in TraceEvent.__slots__:
+            assert getattr(back, name) == getattr(original, name)
+
+
+# -- parallel / pickling ---------------------------------------------------
+
+
+def test_telemetry_summary_pickles():
+    summary = run(Dctcp(), incast(), observe=True).telemetry.summary()
+    clone = pickle.loads(pickle.dumps(summary))
+    assert clone == summary
+
+
+def test_grid_task_observe_round_trips_summary():
+    import dataclasses
+    serial = run(Dctcp(), incast(), observe=True).telemetry.summary()
+    tasks = [GridTask(scheme_factory=Dctcp, scenario_factory=incast,
+                      label="obs", observe=True)]
+    for jobs in (1, 2):
+        [summary] = run_grid(tasks, jobs=jobs)
+        # everything except wall-clock timing is deterministic
+        assert dataclasses.replace(summary.telemetry, wall_seconds=0.0) \
+            == dataclasses.replace(serial, wall_seconds=0.0)
+    [plain] = run_grid([GridTask(scheme_factory=Dctcp,
+                                 scenario_factory=incast, label="bare")])
+    assert plain.telemetry is None
+
+
+def test_summary_combine():
+    a = run(Dctcp(), incast(seed=3), observe=True).telemetry.summary()
+    b = run(Dctcp(), incast(seed=4), observe=True).telemetry.summary()
+    total = TelemetrySummary.combine([a, b])
+    assert total.drops == a.drops + b.drops
+    assert total.marks == a.marks + b.marks
+    assert total.flows_completed == a.flows_completed + b.flows_completed
+    assert total.sim_events == a.sim_events + b.sim_events
+    assert total.counts.get(FLOW_COMPLETE, 0) \
+        == a.counts.get(FLOW_COMPLETE, 0) + b.counts.get(FLOW_COMPLETE, 0)

@@ -87,3 +87,51 @@ def test_ce_flag_reset_after_each_lp_ack():
     lp_acks = [a for a in captured if a.lcp]
     assert lp_acks[0].ecn_ce is True
     assert lp_acks[1].ecn_ce is False  # the mark does not leak forward
+
+
+def test_odd_tail_flushed_by_delayed_ack_timer():
+    """The last LP packet of an odd-count batch must be acknowledged by
+    the delayed-ACK timer, not stranded until the sender's RTO."""
+    receiver, captured, ctx, topo = make_receiver()
+    receiver.on_packet(lp(10))
+    assert receiver.lp_acks_sent == 0        # still waiting for the pair
+    # run only to 1.5x the delayed-ACK delay — well under min_rto, so an
+    # ACK here can only have come from the flush timer
+    assert ctx.config.lp_ack_delay * 1.5 < ctx.config.min_rto
+    topo.sim.run(until=ctx.config.lp_ack_delay * 1.5)
+    assert receiver.lp_acks_sent == 1
+    [ack] = [a for a in captured if a.lcp]
+    assert ack.sack == (10,)
+
+
+def test_delayed_flush_cancelled_when_pair_arrives():
+    """The pair completing the 2:1 rule cancels the pending timer — no
+    duplicate ACK fires later."""
+    receiver, captured, ctx, topo = make_receiver()
+    receiver.on_packet(lp(10))
+    receiver.on_packet(lp(11))
+    assert receiver.lp_acks_sent == 1
+    topo.sim.run(until=ctx.config.lp_ack_delay * 4)
+    assert receiver.lp_acks_sent == 1        # timer did not double-ACK
+    assert receiver._lp_flush_event is None
+
+
+def test_completion_via_lp_path_flushes_pending_tail():
+    receiver, captured, ctx, topo = make_receiver(size=4308)  # 3 packets
+    receiver.on_packet(hp(0))
+    receiver.on_packet(hp(1))
+    receiver.on_packet(lp(2))                # completes the flow, odd tail
+    assert receiver.done
+    [ack] = [a for a in captured if a.lcp]
+    assert ack.sack == (2,)                  # flushed at completion...
+    assert receiver._lp_flush_event is None  # ...with no timer left armed
+
+
+def test_completion_via_hp_path_flushes_pending_tail():
+    receiver, captured, ctx, topo = make_receiver(size=4308)  # 3 packets
+    receiver.on_packet(lp(2))                # odd tail arrives first
+    receiver.on_packet(hp(0))
+    receiver.on_packet(hp(1))                # completes via the HP path
+    assert receiver.done
+    assert [a.sack for a in captured if a.lcp] == [(2,)]
+    assert receiver._lp_flush_event is None

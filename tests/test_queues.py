@@ -231,3 +231,67 @@ def test_conservation_and_occupancy_invariants(items, buffer_bytes):
     assert out == sorted(out)  # strict priority drains highest class first
     assert mux.occupancy == 0
     assert all(v == 0 for v in mux.queue_occupancy)
+
+
+def test_trimmed_then_dropped_counts_once_as_drop():
+    """A packet trimmed as a last resort and *still* not fitting is one
+    drop — not a trim and a drop — and its bytes_dropped reflect the
+    size it arrived with, not the 64B header it shrank to."""
+    mux = PriorityMux(3000, trim=True)
+    mux.enqueue(make_pkt(size=1500))
+    mux.enqueue(make_pkt(size=1500))
+    assert not mux.enqueue(make_pkt(seq=9, size=1500))
+    assert mux.stats.dropped == 1
+    assert mux.stats.trimmed == 0
+    assert mux.stats.bytes_dropped == 1500
+    assert mux.stats.enqueued + mux.stats.dropped == 3
+
+
+def test_threshold_trim_survivor_counts_as_trim_not_drop():
+    mux = PriorityMux(100_000, trim=True)
+    mux.trim_threshold_bytes = 1000
+    assert mux.enqueue(make_pkt(size=900, priority=1))          # under threshold
+    assert mux.enqueue(make_pkt(seq=1, size=1500, priority=1))  # trimmed
+    assert mux.stats.trimmed == 1
+    assert mux.stats.dropped == 0
+    assert mux.stats.enqueued == 2
+
+
+def test_mark_and_trim_hooks_invoked():
+    marks, trims = [], []
+    mux = PriorityMux(100_000, ecn_thresholds=[0] + [None] * 7, trim=True)
+    mux.add_mark_hook(marks.append)
+    mux.add_trim_hook(trims.append)
+    mux.trim_threshold_bytes = 1000
+    mux.enqueue(make_pkt(size=900, priority=0))
+    mux.enqueue(make_pkt(seq=1, size=1500, priority=0))
+    assert len(marks) == mux.stats.marked > 0
+    assert len(trims) == mux.stats.trimmed == 1
+
+
+def test_hooks_chain_instead_of_overwrite():
+    first, second = [], []
+    mux = PriorityMux(1000)
+    mux.add_drop_hook(first.append)
+    mux.add_drop_hook(second.append)
+    mux.enqueue(make_pkt(size=1500))
+    assert len(first) == len(second) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(64, 1500)),
+                min_size=1, max_size=60),
+       st.integers(min_value=2000, max_value=8_000))
+def test_conservation_with_trimming(items, buffer_bytes):
+    """Property: with NDP trimming on, every arrival is still exactly one
+    of enqueued or dropped, and bytes_dropped sums arrival sizes."""
+    mux = PriorityMux(buffer_bytes, trim=True)
+    mux.trim_threshold_bytes = buffer_bytes // 2
+    arrival_bytes = []
+    for priority, size in items:
+        pkt = make_pkt(size=size, priority=priority)
+        if not mux.enqueue(pkt):
+            arrival_bytes.append(size)
+    assert mux.stats.enqueued + mux.stats.dropped == len(items)
+    assert mux.stats.bytes_dropped == sum(arrival_bytes)
+    assert mux.stats.trimmed <= mux.stats.enqueued

@@ -156,3 +156,22 @@ def test_health_defaults():
     assert h.completion_rate == 0.0
     assert not h.stalled
     assert h.ok  # vacuously: 0 of 0 flows
+
+
+def test_drain_never_simulates_past_max_time():
+    """The final drain slice is clamped: ``t`` stepping past ``max_time``
+    used to let the run simulate up to one whole slice beyond the
+    scenario's stated horizon."""
+    # max_time far below the 1e-4 slice-length floor: an unclamped drain
+    # would overshoot to 3e-4 on its final slice
+    result = run(Dctcp(), make_scenario(size=50_000_000, max_time=0.00025))
+    assert not result.flows[0].completed          # flow is far from done
+    assert result.health.sim_time <= 0.00025 + 1e-12
+
+
+def test_drain_clamp_preserves_full_run():
+    """Clamping only affects the horizon; a run that completes well
+    before max_time is untouched."""
+    result = run(Dctcp(), make_scenario())
+    assert result.health.ok
+    assert result.health.sim_time <= 2.0
