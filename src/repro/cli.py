@@ -59,6 +59,7 @@ from .transport.rc3 import Rc3
 from .transport.swift import Swift
 from .transport.tcp10 import Tcp10
 from .transport.timely import Timely
+from .validate import InvariantViolation
 from .workloads.distributions import WORKLOADS
 
 SCHEME_FACTORIES: Dict[str, Callable[[], object]] = {
@@ -153,6 +154,11 @@ def _trace_out_path(template: str, scheme: str, multi: bool) -> str:
 def _cmd_run(args) -> int:
     cdf = WORKLOADS[args.workload]
     observe = bool(args.trace or args.trace_out)
+    validate = False
+    if args.validate_strict:
+        validate = "strict"
+    elif args.validate:
+        validate = True
     if args.trace_out and args.jobs not in (None, 0, 1):
         # the full event trace never crosses the worker pipe (only the
         # TelemetrySummary digest does), so exporting requires the
@@ -185,7 +191,7 @@ def _cmd_run(args) -> int:
             multi = len(args.schemes) > 1
             for name in args.schemes:
                 result = run(SCHEME_FACTORIES[name](), make_scenario(),
-                             observe=True)
+                             observe=True, validate=validate)
                 summary = RunSummary.from_result(result)
                 summary.scheme = name
                 summaries.append(summary)
@@ -197,13 +203,16 @@ def _cmd_run(args) -> int:
             tasks = [GridTask(scheme_factory=SCHEME_FACTORIES[name],
                               scenario_factory=make_scenario,
                               label=name, scheme_key=name,
-                              observe=observe)
+                              observe=observe, validate=validate)
                      for name in args.schemes]
             summaries = run_grid(tasks, jobs=args.jobs)
     except KeyError as exc:
         # bad port name/glob in a fault spec surfaces at apply time
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 3
     rows = []
     for name, summary in zip(args.schemes, summaries):
         stats = summary.stats
@@ -225,8 +234,18 @@ def _cmd_run(args) -> int:
             print(f"  stall: {summary.health.stall_reason}", file=sys.stderr)
         if summary.telemetry is not None:
             print(f"  trace: {summary.telemetry.describe()}", file=sys.stderr)
+    broken = False
+    for name, summary in zip(args.schemes, summaries):
+        report = summary.validation
+        if report is None:
+            continue
+        print(f"validate: {name}: {report.describe()}", file=sys.stderr)
+        if not report.ok:
+            broken = True
+            for violation in report.violations[:10]:
+                print(f"  {violation.describe()}", file=sys.stderr)
     print(format_table(rows))
-    return 0
+    return 1 if broken else 0
 
 
 def _cmd_figure(args) -> int:
@@ -291,6 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export the event trace as JSONL (implies "
                             "--trace; requires --jobs 1; with several "
                             "schemes the scheme name is appended to PATH)")
+    run_p.add_argument("--validate", action="store_true",
+                       help="run the repro.validate invariant auditor; "
+                            "violations are reported per scheme and make "
+                            "the command exit 1")
+    run_p.add_argument("--validate-strict", action="store_true",
+                       help="like --validate but abort at the first broken "
+                            "invariant (exit 3)")
     run_p.set_defaults(fn=_cmd_run)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")

@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..metrics.fct import FctStats
 from ..obs.telemetry import TelemetrySummary
 from ..transport.base import Scheme
+from ..validate import ValidationReport
 from .runner import RunHealth, RunResult, Scenario, run
 
 
@@ -71,6 +72,9 @@ class RunSummary:
     n_flows: int
     wall_events: int
     telemetry: Optional[TelemetrySummary] = None
+    # The invariant auditor's report when the cell ran validated; plain
+    # picklable data like everything else here.
+    validation: Optional[ValidationReport] = None
 
     @classmethod
     def from_result(cls, result: RunResult,
@@ -87,6 +91,7 @@ class RunSummary:
             wall_events=result.wall_events,
             telemetry=(result.telemetry.summary()
                        if result.telemetry is not None else None),
+            validation=result.validation,
         )
 
     @property
@@ -114,10 +119,16 @@ class GridTask:
     # Run the cell with repro.obs telemetry; only the TelemetrySummary
     # digest comes back (the event trace is not picklable at scale).
     observe: bool = False
+    # Run the cell with the repro.validate auditor: False (off), True
+    # (audit mode) or "strict".  The picklable ValidationReport comes
+    # back on the summary; in strict mode a broken law raises
+    # InvariantViolation inside the worker and surfaces through the pool.
+    validate: object = False
 
     def execute(self) -> RunSummary:
         scenario = self.scenario_factory(**self.params)
-        result = run(self.scheme_factory(), scenario, observe=self.observe)
+        result = run(self.scheme_factory(), scenario, observe=self.observe,
+                     validate=self.validate)
         summary = RunSummary.from_result(result, self.params)
         if self.scheme_key:
             summary.scheme = self.scheme_key

@@ -36,6 +36,7 @@ from ..obs.telemetry import Telemetry
 from ..sim.network import Network
 from ..sim.topology import Topology
 from ..transport.base import Flow, Scheme, TransportConfig, TransportContext
+from ..validate import RunAuditor, ValidationReport
 
 
 @dataclass
@@ -130,6 +131,9 @@ class RunResult:
     # The run's Telemetry (event trace + counter snapshots + profile)
     # when ``run(..., observe=...)`` asked for one; None otherwise.
     telemetry: Optional[Telemetry] = None
+    # The invariant auditor's report when ``run(..., validate=...)``
+    # asked for one; None otherwise.
+    validation: Optional[ValidationReport] = None
 
     @property
     def completed(self) -> int:
@@ -192,6 +196,23 @@ def _resolve_observe(observe: Union[None, bool, Telemetry]) -> Optional[Telemetr
     raise TypeError(f"observe must be bool or Telemetry, got {observe!r}")
 
 
+def _resolve_validate(
+        validate: Union[None, bool, str, RunAuditor]) -> Optional[RunAuditor]:
+    """``validate=`` accepts False/None (off), True (audit mode),
+    ``"strict"`` (raise on first violation) or a preconfigured
+    :class:`~repro.validate.RunAuditor`."""
+    if validate is None or validate is False:
+        return None
+    if validate is True:
+        return RunAuditor()
+    if validate == "strict":
+        return RunAuditor(strict=True)
+    if isinstance(validate, RunAuditor):
+        return validate
+    raise TypeError(
+        f"validate must be bool, 'strict' or RunAuditor, got {validate!r}")
+
+
 def _observed_start(scheme: Scheme, flow: Flow, ctx: TransportContext,
                     telemetry: Telemetry) -> None:
     telemetry.on_flow_start(flow)
@@ -223,6 +244,7 @@ def run(
     *,
     instruments: Optional[Callable[[Topology], object]] = None,
     observe: Union[None, bool, Telemetry] = None,
+    validate: Union[None, bool, str, RunAuditor] = None,
 ) -> RunResult:
     """Execute ``scheme`` on ``scenario``; returns results when all flows
     finish or the watchdog stops the run (stall, event budget, heap
@@ -238,8 +260,16 @@ def run(
     may attach samplers to the freshly built topology before any flow
     starts; whatever it returns is stored on the result's
     ``ctx.extra['instruments']`` and stopped at drain end.
+
+    ``validate`` opts the run into the :mod:`repro.validate` invariant
+    auditor: ``True`` audits (violations land on ``result.validation``),
+    ``"strict"`` raises :class:`~repro.validate.InvariantViolation` at
+    the first broken law, or pass a preconfigured
+    :class:`~repro.validate.RunAuditor`.  The auditor only reads state,
+    so a validated run is bit-identical to a bare one.
     """
     telemetry = _resolve_observe(observe)
+    auditor = _resolve_validate(validate)
     topo = scenario.build_topology()
     scheme.configure_network(topo.network)
     faults: Optional[ActiveFaults] = None
@@ -253,6 +283,8 @@ def run(
     ctx = TransportContext(topo.sim, topo.network, scenario.config,
                            on_complete=on_complete)
     ctx.telemetry = telemetry
+    if auditor is not None:
+        auditor.attach(topo.sim, topo.network, ctx)
     if faults is not None:
         ctx.extra["faults"] = faults
     if instruments is not None:
@@ -266,11 +298,12 @@ def run(
                                  scheme, flow, ctx, telemetry)
 
     health = _drain(topo.sim, ctx, flows, scenario, faults, topo.network,
-                    telemetry)
+                    telemetry, auditor)
     _collect_flow_counters(topo.network, health)
     _stop_instruments(ctx.extra.get("instruments"))
     if telemetry is not None:
         telemetry.finalize(topo.network, flows)
+    validation = auditor.finalize(flows) if auditor is not None else None
 
     stats = FctStats.from_flows(flows)
     return RunResult(
@@ -283,12 +316,14 @@ def run(
         wall_events=topo.sim.events_run,
         health=health,
         telemetry=telemetry,
+        validation=validation,
     )
 
 
 def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
            faults: Optional[ActiveFaults], network: Network,
-           telemetry: Optional[Telemetry] = None) -> RunHealth:
+           telemetry: Optional[Telemetry] = None,
+           auditor: Optional[RunAuditor] = None) -> RunHealth:
     """Drain the simulator in slices under the run-health watchdog."""
     n_flows = len(flows)
     health = RunHealth(n_flows=n_flows)
@@ -329,6 +364,8 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
             executed = sim.run(until=t, max_events=max_events)
             telemetry.record_slice(t, executed,
                                    _time.perf_counter() - wall_start)
+        if auditor is not None:
+            auditor.on_slice()
         if (scenario.event_budget is not None
                 and sim.events_run >= scenario.event_budget):
             health.event_budget_exceeded = True

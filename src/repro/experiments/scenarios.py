@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..faults.plan import FaultPlan
 from ..sim.network import QueueConfig
-from ..sim.topology import Topology, leaf_spine, star
+from ..sim.topology import Topology, dumbbell, leaf_spine, star
 from ..transport.base import Flow, TransportConfig
 from ..units import gbps, kb, mb, us
 from ..workloads.distributions import EmpiricalCdf, WEB_SEARCH
@@ -38,6 +38,7 @@ SIM_K_LOW = 86_000            # LCP marking threshold, §6.2
 TESTBED_BUFFER = 925_000      # 50MB shared by 54 ports (Table 3)
 TESTBED_K_HIGH = 100_000      # Table 3
 TESTBED_K_LOW = 80_000        # Table 3
+DEFAULT_SIZE_CAP = 2_000_000  # flow-size cap for the scaled scenarios
 
 
 def sim_qcfg(buffer_bytes: int = SIM_BUFFER, k_high: int = SIM_K_HIGH,
@@ -94,6 +95,67 @@ def testbed_fabric(n_hosts: int = 15) -> Callable[[], Topology]:
     return build
 
 
+def star_fabric(
+    n_hosts: int = 8,
+    *,
+    rate: float = gbps(10),
+    prop_delay: float = us(10),
+    qcfg: Optional[QueueConfig] = None,
+) -> Callable[[], Topology]:
+    """A small single-switch star (validation-matrix topology #1)."""
+    qcfg = qcfg or sim_qcfg()
+
+    def build() -> Topology:
+        return star(n_hosts, rate=rate, prop_delay=prop_delay, qcfg=qcfg)
+
+    return build
+
+
+def dumbbell_fabric(
+    *,
+    rate: float = gbps(10),
+    bottleneck_rate: Optional[float] = None,
+    prop_delay: float = us(10),
+    qcfg: Optional[QueueConfig] = None,
+) -> Callable[[], Topology]:
+    """host0–sw0–sw1–host1 (validation-matrix topology #2; also the
+    HPCC INT regression fixture — exactly two switch hops each way)."""
+    qcfg = qcfg or sim_qcfg()
+
+    def build() -> Topology:
+        return dumbbell(rate=rate, bottleneck_rate=bottleneck_rate,
+                        prop_delay=prop_delay, qcfg=qcfg)
+
+    return build
+
+
+def dumbbell_scenario(
+    name: str,
+    cdf: EmpiricalCdf = WEB_SEARCH,
+    *,
+    load: float = 0.5,
+    n_flows: int = 40,
+    bottleneck_rate: Optional[float] = None,
+    config: Optional[TransportConfig] = None,
+    size_cap: Optional[int] = DEFAULT_SIZE_CAP,
+    seed: int = 13,
+    max_time: float = 10.0,
+    event_budget: Optional[int] = None,
+) -> Scenario:
+    """Poisson traffic host0 -> host1 across the dumbbell bottleneck."""
+    fabric = dumbbell_fabric(bottleneck_rate=bottleneck_rate)
+
+    def build_flows(topo: Topology) -> List[Flow]:
+        return poisson_flows(
+            incast([0], 1), cdf,
+            load=load, link_rate=topo.edge_rate, n_flows=n_flows,
+            n_senders=1, seed=seed, size_cap=size_cap)
+
+    return Scenario(name, fabric, build_flows,
+                    config=config or sim_config(), max_time=max_time,
+                    event_budget=event_budget)
+
+
 def micro_fabric(rate: float = gbps(40),
                  buffer_bytes: int = 250_000,
                  k_high: int = 120_000,
@@ -133,8 +195,6 @@ def testbed_config(**overrides) -> TransportConfig:
 # ---------------------------------------------------------------------------
 # scenario builders
 # ---------------------------------------------------------------------------
-
-DEFAULT_SIZE_CAP = 2_000_000
 
 
 def all_to_all_scenario(

@@ -53,8 +53,10 @@ EVENT_KINDS = (
 )
 
 _QUEUE_COUNTER_FIELDS = (
-    "enqueued", "dequeued", "dropped", "trimmed", "marked",
-    "bytes_enqueued", "bytes_dequeued", "bytes_dropped",
+    "offered", "enqueued", "dequeued", "dropped", "dropped_after_enqueue",
+    "trimmed", "marked",
+    "bytes_offered", "bytes_enqueued", "bytes_dequeued", "bytes_dropped",
+    "bytes_dropped_after_enqueue", "bytes_trimmed",
 )
 
 

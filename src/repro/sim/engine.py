@@ -141,6 +141,24 @@ class Simulator:
             heapq.heappop(heap)
         return heap[0][0] if heap else None
 
+    def audit_heap(self) -> tuple:
+        """``(live_count, min_live_time)`` in one non-destructive pass.
+
+        Unlike :meth:`peek_time` this never pops lazily-cancelled
+        entries, so the invariant auditor can call it without touching
+        engine state at all.  ``min_live_time`` is None when no live
+        event is pending.
+        """
+        live = 0
+        min_time: Optional[float] = None
+        for time, _seq, event in self._heap:
+            if event.cancelled:
+                continue
+            live += 1
+            if min_time is None or time < min_time:
+                min_time = time
+        return live, min_time
+
     @property
     def pending(self) -> int:
         """Number of heap entries, including cancelled ones."""

@@ -23,7 +23,9 @@ class Host:
     """A server attached to the fabric."""
 
     __slots__ = ("host_id", "name", "uplink", "endpoints", "ops_sent",
-                 "ops_received", "corrupt_discards", "default_endpoint")
+                 "ops_received", "corrupt_discards", "default_endpoint",
+                 "pkts_to_fabric", "bytes_to_fabric",
+                 "pkts_from_fabric", "bytes_from_fabric")
 
     def __init__(self, host_id: int, name: str = "") -> None:
         self.host_id = host_id
@@ -33,6 +35,16 @@ class Host:
         self.ops_sent = 0
         self.ops_received = 0
         self.corrupt_discards = 0
+        # Conservation-ledger counters (repro.validate): packets/bytes
+        # this host offered to its NIC port and packets/bytes that
+        # arrived off the queued fabric.  Ideal-control-path deliveries
+        # (:meth:`receive_control`) are deliberately excluded — they
+        # never traverse a port, so they are not part of the fabric's
+        # byte ledger.
+        self.pkts_to_fabric = 0
+        self.bytes_to_fabric = 0
+        self.pkts_from_fabric = 0
+        self.bytes_from_fabric = 0
         # Fallback receiver for packets of unregistered flows (unused in
         # normal operation; lets tests inject raw packets).
         self.default_endpoint = None
@@ -47,18 +59,36 @@ class Host:
     def send(self, pkt: Packet) -> bool:
         """Push a packet into the NIC egress queue."""
         self.ops_sent += 1
+        self.pkts_to_fabric += 1
+        self.bytes_to_fabric += pkt.size
         if self.uplink is None:
             raise RuntimeError(f"{self.name} has no uplink attached")
         return self.uplink.send(pkt)
 
     def receive(self, pkt: Packet) -> None:
-        """Dispatch an arriving packet to the endpoint owning its flow."""
+        """Dispatch a packet arriving off the queued fabric."""
         self.ops_received += 1
+        self.pkts_from_fabric += 1
+        self.bytes_from_fabric += pkt.size
         if pkt.corrupted:
             # failed checksum: the NIC discards it before the transport
             # ever sees it — recovery is the sender's problem
             self.corrupt_discards += 1
             return
+        self._dispatch(pkt)
+
+    def receive_control(self, pkt: Packet) -> None:
+        """Dispatch a packet delivered over the ideal control path.
+
+        Same dispatch as :meth:`receive` (one datapath op), but outside
+        the fabric ledger: control packets never crossed a port, so
+        counting them as fabric arrivals would break byte conservation.
+        Corruption cannot happen here — injectors sit on ports.
+        """
+        self.ops_received += 1
+        self._dispatch(pkt)
+
+    def _dispatch(self, pkt: Packet) -> None:
         endpoint = self.endpoints.get(pkt.flow_id)
         if endpoint is not None:
             endpoint.on_packet(pkt)

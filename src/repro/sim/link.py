@@ -71,6 +71,8 @@ class Port:
         "sim", "rate_bps", "prop_delay", "mux", "peer", "name",
         "busy", "bytes_sent", "pkts_sent", "busy_time", "_tx_start",
         "fault_chain",
+        "fault_admit_drops", "fault_admit_drop_bytes",
+        "fault_wire_drops", "fault_wire_drop_bytes",
     )
 
     def __init__(
@@ -94,6 +96,15 @@ class Port:
         self.busy_time = 0.0
         self._tx_start = 0.0
         self.fault_chain: Optional[FaultChain] = None
+        # Conservation-ledger counters (repro.validate): packets a fault
+        # chain killed before the mux saw them vs. on the wire after
+        # serialization.  Injectors keep their own totals; these split
+        # the loss by *where* it happened, which the injector totals
+        # (admit + wire + flush combined) cannot.
+        self.fault_admit_drops = 0
+        self.fault_admit_drop_bytes = 0
+        self.fault_wire_drops = 0
+        self.fault_wire_drop_bytes = 0
 
     # -- fault injection --------------------------------------------------
 
@@ -119,6 +130,8 @@ class Port:
         """Enqueue ``pkt`` for transmission.  Returns False if dropped."""
         chain = self.fault_chain
         if chain is not None and not chain.admit(pkt):
+            self.fault_admit_drops += 1
+            self.fault_admit_drop_bytes += pkt.size
             return False
         pkt.queue_delay -= self.sim.now  # finalized on dequeue
         if not self.mux.enqueue(pkt):
@@ -145,6 +158,8 @@ class Port:
         self.busy_time += self.sim.now - self._tx_start
         chain = self.fault_chain
         if chain is not None and not chain.transmit(pkt):
+            self.fault_wire_drops += 1
+            self.fault_wire_drop_bytes += pkt.size
             self._start_next()  # lost on the wire (link down, ...)
             return
         if self.peer is not None:

@@ -194,7 +194,7 @@ class Network:
         src = self.hosts[pkt.src]
         src.ops_sent += 1
         delay = self.base_delay(pkt.src, pkt.dst)
-        self.sim.schedule(delay, self.hosts[pkt.dst].receive, pkt)
+        self.sim.schedule(delay, self.hosts[pkt.dst].receive_control, pkt)
 
     # -- flow endpoint wiring ---------------------------------------------
 

@@ -163,7 +163,12 @@ def make_ack(
     ack.ecn_ce = data_pkt.ecn_ce
     ack.lcp = data_pkt.lcp
     ack.sent_at = data_pkt.sent_at
-    ack.int_records = data_pkt.int_records
+    # Snapshot, never alias: HPCC's Algorithm 1 assumes the INT list an
+    # ACK carries describes the *forward* path only.  Sharing the data
+    # packet's list would let any hop that later touches either packet
+    # pollute the other's records.
+    ack.int_records = (None if data_pkt.int_records is None
+                       else list(data_pkt.int_records))
     ack.queue_delay = data_pkt.queue_delay
     ack.hops = data_pkt.hops
     return ack

@@ -26,22 +26,44 @@ from .packet import HEADER, HEADER_BYTES, NUM_PRIORITIES, Packet
 
 
 class QueueStats:
-    """Counters every queue keeps; cheap enough to always collect."""
+    """Counters every queue keeps; cheap enough to always collect.
+
+    Conservation laws (asserted by :mod:`repro.validate`):
+
+    * every arrival is exactly one of admitted or rejected:
+      ``offered == enqueued + (dropped - dropped_after_enqueue)``;
+    * admitted packets leave exactly once:
+      ``enqueued == dequeued + dropped_after_enqueue + still-queued``;
+    * byte-exact variants of both, with ``bytes_trimmed`` carrying the
+      payload a trim cut between arrival and admission.
+
+    ``dropped`` / ``bytes_dropped`` remain the *total* loss counters
+    (pre-admission tail/selective drops plus post-enqueue flushes);
+    ``dropped_after_enqueue`` isolates the flush share so the admission
+    ledger and the occupancy ledger each balance exactly.
+    """
 
     __slots__ = (
-        "enqueued", "dequeued", "dropped", "trimmed", "marked",
-        "bytes_enqueued", "bytes_dequeued", "bytes_dropped",
+        "offered", "enqueued", "dequeued", "dropped", "trimmed", "marked",
+        "dropped_after_enqueue",
+        "bytes_offered", "bytes_enqueued", "bytes_dequeued", "bytes_dropped",
+        "bytes_dropped_after_enqueue", "bytes_trimmed",
     )
 
     def __init__(self) -> None:
+        self.offered = 0
         self.enqueued = 0
         self.dequeued = 0
         self.dropped = 0
         self.trimmed = 0
         self.marked = 0
+        self.dropped_after_enqueue = 0
+        self.bytes_offered = 0
         self.bytes_enqueued = 0
         self.bytes_dequeued = 0
         self.bytes_dropped = 0
+        self.bytes_dropped_after_enqueue = 0
+        self.bytes_trimmed = 0
 
 
 class PriorityMux:
@@ -170,6 +192,8 @@ class PriorityMux:
         """
         stats = self.stats
         arrival_size = pkt.size
+        stats.offered += 1
+        stats.bytes_offered += arrival_size
         trimmed = False
         # Aeolus selective dropping of pre-credit packets.
         if (
@@ -240,6 +264,7 @@ class PriorityMux:
         if trimmed:
             # counted only now that the header actually survived
             stats.trimmed += 1
+            stats.bytes_trimmed += arrival_size - pkt.size
             if self.trim_hook is not None:
                 self.trim_hook(pkt)
         self.queues[pkt.priority].append(pkt)
@@ -282,6 +307,7 @@ class PriorityMux:
         never made it onto the wire.
         """
         flushed = 0
+        stats = self.stats
         for priority, queue in enumerate(self.queues):
             while queue:
                 pkt = queue.popleft()
@@ -289,6 +315,11 @@ class PriorityMux:
                 self.queue_occupancy[priority] -= pkt.size
                 if pkt.lcp:
                     self.lp_occupancy -= pkt.size
+                # a flushed packet was admitted (counted enqueued), so it
+                # is a *post-enqueue* drop — split out so the admission
+                # and occupancy ledgers both balance
+                stats.dropped_after_enqueue += 1
+                stats.bytes_dropped_after_enqueue += pkt.size
                 self._drop(pkt)
                 flushed += 1
         return flushed

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from .link import Port
-from .packet import Packet
+from .packet import DATA, HEADER, Packet
 from .routing import SprayCounter, ecmp_hash
 
 
@@ -29,7 +29,7 @@ class Switch:
     """
 
     __slots__ = ("switch_id", "name", "table", "spray", "_spray_counter",
-                 "pkts_forwarded")
+                 "pkts_forwarded", "bytes_forwarded")
 
     def __init__(self, switch_id: int, name: str = "") -> None:
         self.switch_id = switch_id
@@ -38,6 +38,7 @@ class Switch:
         self.spray = False
         self._spray_counter = SprayCounter()
         self.pkts_forwarded = 0
+        self.bytes_forwarded = 0
 
     def add_route(self, dst_host: int, port: Port) -> None:
         """Register ``port`` as a candidate next hop towards ``dst_host``."""
@@ -58,8 +59,12 @@ class Switch:
             port = candidates[ecmp_hash(pkt.flow_id, self.switch_id, len(candidates))]
         pkt.hops += 1
         self.pkts_forwarded += 1
-        if pkt.int_records is not None:
+        self.bytes_forwarded += pkt.size
+        if pkt.int_records is not None and (pkt.kind == DATA
+                                            or pkt.kind == HEADER):
             # HPCC INT: stamp queue length, cumulative tx bytes, time, rate.
+            # Data-plane packets only — ACK/control kinds carry a snapshot
+            # of the forward path and must not accumulate reverse-path hops.
             pkt.int_records.append(
                 (port.mux.occupancy, port.bytes_sent, port.sim.now, port.rate_bps)
             )

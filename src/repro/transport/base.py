@@ -112,6 +112,9 @@ class TransportContext:
         # The run's Telemetry (repro.obs), or None for an unobserved
         # run; endpoints read this once at construction.
         self.telemetry = None
+        # The run's invariant auditor (repro.validate), or None for an
+        # unvalidated run; same read-once contract as ``telemetry``.
+        self.auditor = None
 
     def on_complete(self, flow: Flow) -> None:
         flow.finish_time = self.sim.now

@@ -100,6 +100,10 @@ class WindowSender:
         # of these is a retransmission even when the caller didn't know
         # (post-RTO recovery goes through the plain try_send path)
         self._ever_sent: Set[int] = set()
+        # Karn's rule: seqs that were ever retransmitted.  An ACK for one
+        # is ambiguous (it may acknowledge the original or any re-send
+        # copy), so its RTT sample must not feed the srtt estimator.
+        self._rtx_seqs: Set[int] = set()
         self.delivered: Set[int] = set()
         self.cum = 0
         self.send_ptr = 0
@@ -116,6 +120,9 @@ class WindowSender:
         # telemetry hook sites (repro.obs): None when the run is not
         # observed — the hot paths then pay one branch and nothing else
         self.obs = ctx.telemetry
+        # invariant auditor (repro.validate): same contract as ``obs`` —
+        # None on unvalidated runs, one branch per send burst otherwise
+        self.audit = getattr(ctx, "auditor", None)
 
         # timers — a single lazy-deadline RTO: `_rto_deadline` is the
         # authoritative timeout and is merely *extended* on each ACK/send;
@@ -125,6 +132,11 @@ class WindowSender:
         self._rto_event: Optional[Event] = None
         self._rto_deadline: float = math.inf
         self._last_fast_rtx: float = -1.0
+        # Dup-ACK rescan guard: the minimum outstanding send time observed
+        # by the last hole scan that found nothing.  While every send time
+        # is provably newer than the staleness cutoff the O(W) rescan is
+        # skipped — it could not find a hole either.  None = no such bound.
+        self._no_hole_floor: Optional[float] = None
         # consecutive timeouts without forward progress; exponent of the
         # RTO backoff, reset by any ACK that delivers new data
         self.rto_backoff_exp = 0
@@ -172,11 +184,15 @@ class WindowSender:
 
     def try_send(self) -> None:
         """Transmit while the window allows and data remains."""
+        audit = self.audit
+        pre_burst = len(self.outstanding) if audit is not None else 0
         while not self.finished and len(self.outstanding) < self.cwnd:
             seq = self._next_new_seq()
             if seq is None:
                 break
             self.transmit(seq)
+        if audit is not None:
+            audit.on_send_burst(self, pre_burst)
 
     def transmit(self, seq: int, retransmit: bool = False) -> None:
         # Any re-send of a seq this loop already transmitted is a
@@ -191,6 +207,7 @@ class WindowSender:
         self.outstanding[seq] = self.sim.now
         self.pkts_transmitted += 1
         if retransmit:
+            self._rtx_seqs.add(seq)
             self.pkts_retransmitted += 1
             if self.obs is not None:
                 self.obs.on_retransmit(self.sim.now, self.flow.flow_id, seq)
@@ -260,7 +277,11 @@ class WindowSender:
         self.outstanding.pop(seq, None)
 
         rtt = self.sim.now - pkt.sent_at
-        if rtt > 0:
+        if rtt > 0 and seq not in self._rtx_seqs:
+            # Karn's rule: never take an srtt sample from the ACK of a
+            # retransmitted seq — the echoed sent_at may belong to either
+            # copy, and a stale-original echo measured against a re-send
+            # would collapse srtt below the physical floor.
             self.srtt = 0.875 * self.srtt + 0.125 * rtt
 
         new_cum = pkt.ack_seq
@@ -294,10 +315,21 @@ class WindowSender:
         cut at most once per RTT (one congestion event per window)."""
         now = self.sim.now
         stale = now - max(self.srtt, self.base_rtt)
+        floor = self._no_hole_floor
+        if floor is not None and floor > stale:
+            # Every send time at the last no-hole scan was >= floor, and
+            # anything transmitted since then is newer still — so no
+            # entry can satisfy ``t <= stale``.  Skipping the O(W) rescan
+            # here is exact: the scan below would find nothing.
+            return
         holes = [s for s, t in self.outstanding.items()
                  if t <= stale and s < self.n_packets]
         if not holes:
+            outstanding = self.outstanding
+            self._no_hole_floor = (min(outstanding.values())
+                                   if outstanding else None)
             return
+        self._no_hole_floor = None
         if now - self._last_fast_rtx >= self.srtt:
             self._last_fast_rtx = now
             self.cc_on_fast_rtx()

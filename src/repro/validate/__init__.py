@@ -1,0 +1,20 @@
+"""repro.validate — opt-in runtime invariant auditing.
+
+Turn it on with ``run(scheme, scenario, validate=True)`` (audit mode:
+violations accumulate into ``result.validation``), ``validate="strict"``
+(first violation raises :class:`InvariantViolation`), or pass a
+preconfigured :class:`RunAuditor`.  From the CLI: ``--validate`` /
+``--validate-strict``.  ``python -m repro.validate.matrix`` audits the
+default scenario matrix and doubles as the bare-vs-validated
+bit-identity check CI runs.
+
+See ``docs/validation.md`` for the law catalogue.
+"""
+
+from .auditor import RunAuditor, audit_mux
+from .report import InvariantViolation, ValidationReport, Violation
+
+__all__ = [
+    "RunAuditor", "audit_mux",
+    "InvariantViolation", "ValidationReport", "Violation",
+]

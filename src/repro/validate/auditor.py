@@ -1,0 +1,399 @@
+"""The runtime invariant auditor.
+
+:class:`RunAuditor` piggybacks on the same places :mod:`repro.obs` does —
+the drain-slice boundary in :func:`repro.experiments.runner.run` and a
+per-send-burst hook in :class:`~repro.transport.window.WindowSender` —
+and *only reads* simulator state.  It schedules no events, pops no heap
+entries (engine inspection goes through the non-destructive
+:meth:`~repro.sim.engine.Simulator.audit_heap`) and mutates nothing in
+the fabric, which is what makes a validated run bit-identical to a bare
+one.
+
+Laws checked (see ``docs/validation.md`` for the full catalogue and the
+paper grounding of each):
+
+* **engine** — the clock never goes backwards across slices, and no live
+  heap entry is ever timestamped before ``sim.now``;
+* **queue** — per-:class:`~repro.sim.queues.PriorityMux` occupancy
+  equals both the per-priority ledger and the byte-sum of the actual
+  queued packets, plus the admission/occupancy conservation laws over
+  :class:`~repro.sim.queues.QueueStats`;
+* **port** — dequeues equal completed transmissions plus the packet on
+  the wire;
+* **transport** — per-flow transmission accounting, cum/delivered
+  bounds, window discipline after every send burst, and a never-stale
+  RTO deadline while armed;
+* **end-to-end** — every packet (and byte) injected by any sender is
+  delivered, dropped, trimmed away or still in flight — nothing is
+  created or destroyed by the fabric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..sim.network import Network
+from ..sim.queues import PriorityMux
+from ..transport.window import WindowReceiver, WindowSender
+from .report import InvariantViolation, ValidationReport, Violation
+
+# Absolute slack for float time comparisons (an RTO deadline stored as
+# ``now + (deadline - now)`` can differ from ``deadline`` by an ulp).
+TIME_EPS = 1e-9
+
+
+def audit_mux(mux: PriorityMux) -> List[Tuple[str, str, dict]]:
+    """Check every queue law on one mux; returns ``(law, message,
+    details)`` tuples (empty list = healthy).
+
+    Standalone so the randomized property tests can drive a bare mux
+    through enqueue/dequeue/flush/trim/selective-drop sequences and
+    audit it after every operation, without a simulator in sight.
+    """
+    problems: List[Tuple[str, str, dict]] = []
+    stats = mux.stats
+
+    per_queue_bytes = [sum(p.size for p in q) for q in mux.queues]
+    packet_bytes = sum(per_queue_bytes)
+    lp_bytes = sum(p.size for q in mux.queues for p in q if p.lcp)
+    still_queued = sum(len(q) for q in mux.queues)
+
+    if mux.occupancy != sum(mux.queue_occupancy):
+        problems.append((
+            "mux-occupancy-sum",
+            "occupancy ledger disagrees with per-priority ledger",
+            {"occupancy": mux.occupancy,
+             "queue_occupancy_sum": sum(mux.queue_occupancy)}))
+    if mux.occupancy != packet_bytes:
+        problems.append((
+            "mux-occupancy-bytes",
+            "occupancy ledger disagrees with byte-sum of queued packets",
+            {"occupancy": mux.occupancy, "packet_bytes": packet_bytes}))
+    for priority, (ledger, actual) in enumerate(
+            zip(mux.queue_occupancy, per_queue_bytes)):
+        if ledger != actual:
+            problems.append((
+                "mux-queue-occupancy",
+                f"priority {priority} ledger disagrees with queued packets",
+                {"priority": priority, "ledger": ledger, "actual": actual}))
+    if mux.lp_occupancy != lp_bytes:
+        problems.append((
+            "mux-lp-occupancy",
+            "lp_occupancy ledger disagrees with queued LP packets",
+            {"lp_occupancy": mux.lp_occupancy, "lp_bytes": lp_bytes}))
+    if mux.occupancy > mux.buffer_bytes:
+        problems.append((
+            "mux-buffer-cap",
+            "occupancy exceeds the shared buffer",
+            {"occupancy": mux.occupancy, "buffer_bytes": mux.buffer_bytes}))
+
+    pre_drops = stats.dropped - stats.dropped_after_enqueue
+    if stats.offered != stats.enqueued + pre_drops:
+        problems.append((
+            "mux-admission-conservation",
+            "arrivals != admitted + rejected",
+            {"offered": stats.offered, "enqueued": stats.enqueued,
+             "pre_enqueue_drops": pre_drops}))
+    pre_drop_bytes = stats.bytes_dropped - stats.bytes_dropped_after_enqueue
+    if stats.bytes_offered != (stats.bytes_enqueued + stats.bytes_trimmed
+                               + pre_drop_bytes):
+        problems.append((
+            "mux-admission-conservation-bytes",
+            "arrival bytes != admitted + trimmed-away + rejected bytes",
+            {"bytes_offered": stats.bytes_offered,
+             "bytes_enqueued": stats.bytes_enqueued,
+             "bytes_trimmed": stats.bytes_trimmed,
+             "pre_enqueue_drop_bytes": pre_drop_bytes}))
+    if stats.enqueued != (stats.dequeued + stats.dropped_after_enqueue
+                          + still_queued):
+        problems.append((
+            "mux-occupancy-conservation",
+            "enqueued != dequeued + dropped_after_enqueue + still-queued",
+            {"enqueued": stats.enqueued, "dequeued": stats.dequeued,
+             "dropped_after_enqueue": stats.dropped_after_enqueue,
+             "still_queued": still_queued}))
+    if stats.bytes_enqueued != (stats.bytes_dequeued
+                                + stats.bytes_dropped_after_enqueue
+                                + mux.occupancy):
+        problems.append((
+            "mux-occupancy-conservation-bytes",
+            "admitted bytes != dequeued + flushed + still-queued bytes",
+            {"bytes_enqueued": stats.bytes_enqueued,
+             "bytes_dequeued": stats.bytes_dequeued,
+             "bytes_dropped_after_enqueue": stats.bytes_dropped_after_enqueue,
+             "occupancy": mux.occupancy}))
+    return problems
+
+
+class RunAuditor:
+    """Observes one run and checks its invariants.
+
+    ``strict=True`` raises :class:`InvariantViolation` at the first
+    broken law; the default audit mode accumulates everything into
+    ``self.report``.  One auditor audits one run — reusing an instance
+    would conflate two runs' clocks and ledgers.
+    """
+
+    def __init__(self, *, strict: bool = False, max_kept: int = 200) -> None:
+        self.report = ValidationReport(strict=strict, max_kept=max_kept)
+        self.sim = None
+        self.network: Optional[Network] = None
+        self.attached = False
+        self._last_now = -math.inf
+        self._finalized = False
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, sim, network: Network, ctx=None) -> "RunAuditor":
+        """Bind to a run's simulator/fabric; called by ``run(validate=)``
+        before any flow starts.  ``ctx`` (when given) gets its
+        ``auditor`` attribute set so senders install the burst hook."""
+        if self.attached:
+            raise RuntimeError("RunAuditor is single-run; already attached")
+        self.attached = True
+        self.sim = sim
+        self.network = network
+        self._last_now = sim.now
+        if ctx is not None:
+            ctx.auditor = self
+        return self
+
+    # -- recording --------------------------------------------------------
+
+    def _violate(self, law: str, subject: str, message: str, **details) -> None:
+        self.report.record(Violation(
+            law=law, subject=subject,
+            sim_time=float(self.sim.now) if self.sim is not None else -1.0,
+            message=message, details=details))
+
+    def _check(self, ok: bool, law: str, subject: str, message: str,
+               **details) -> None:
+        self.report.checks_run += 1
+        if not ok:
+            self._violate(law, subject, message, **details)
+
+    # -- per-slice checks -------------------------------------------------
+
+    def on_slice(self) -> None:
+        """Engine, queue, port and RTO laws; runs at every drain-slice
+        boundary (and once more inside :meth:`finalize`)."""
+        sim = self.sim
+        self._check(sim.now >= self._last_now,
+                    "engine-clock-monotonic", "engine",
+                    "clock went backwards across slices",
+                    now=sim.now, previous=self._last_now)
+        self._last_now = sim.now
+        live, min_live = sim.audit_heap()
+        self._check(min_live is None or min_live >= sim.now,
+                    "engine-no-past-event", "engine",
+                    "a live event is scheduled before the current clock",
+                    min_live_time=min_live, now=sim.now, live_pending=live)
+        for port in self.network.ports:
+            self._audit_mux(port)
+            self._audit_port(port)
+        for sender in self._endpoints(WindowSender):
+            self._audit_rto(sender)
+
+    def _audit_mux(self, port) -> None:
+        for law, message, details in audit_mux(port.mux):
+            self._violate(law, port.name, message, **details)
+        self.report.checks_run += 1
+
+    def _audit_port(self, port) -> None:
+        stats = port.mux.stats
+        on_wire = 1 if port.busy else 0
+        self._check(stats.dequeued == port.pkts_sent + on_wire,
+                    "port-serialization", port.name,
+                    "dequeues != completed transmissions + packet on wire",
+                    dequeued=stats.dequeued, pkts_sent=port.pkts_sent,
+                    busy=port.busy)
+        in_serial = stats.bytes_dequeued - port.bytes_sent
+        self._check(in_serial > 0 if port.busy else in_serial == 0,
+                    "port-serialization-bytes", port.name,
+                    "in-serialization bytes disagree with busy state",
+                    in_serialization_bytes=in_serial, busy=port.busy)
+
+    def _audit_rto(self, sender: WindowSender) -> None:
+        event = sender._rto_event
+        if sender.finished or event is None or event.cancelled:
+            return
+        subject = f"flow{sender.flow.flow_id}"
+        now = self.sim.now
+        self._check(sender._rto_deadline >= now - TIME_EPS,
+                    "rto-deadline", subject,
+                    "RTO armed with a deadline in the past",
+                    deadline=sender._rto_deadline, now=now)
+        self._check(event.time <= sender._rto_deadline + TIME_EPS,
+                    "rto-deadline", subject,
+                    "RTO timer scheduled after its own deadline",
+                    event_time=event.time, deadline=sender._rto_deadline)
+
+    # -- per-burst check (hooked from WindowSender.try_send) ---------------
+
+    def on_send_burst(self, sender: WindowSender, pre_burst: int) -> None:
+        """``len(outstanding) <= max(pre_burst, ceil(cwnd))`` after every
+        send burst: a burst may top the window up to ``ceil(cwnd)`` but
+        never overshoot it (a window *cut* below the current in-flight
+        count legitimately leaves ``pre_burst`` outstanding — the burst
+        then must not add anything on top)."""
+        bound = max(pre_burst, math.ceil(sender.cwnd))
+        self._check(len(sender.outstanding) <= bound,
+                    "window-burst-bound", f"flow{sender.flow.flow_id}",
+                    "send burst overshot the congestion window",
+                    outstanding=len(sender.outstanding), cwnd=sender.cwnd,
+                    pre_burst=pre_burst)
+
+    # -- drain-end checks -------------------------------------------------
+
+    def _endpoints(self, cls):
+        seen = set()
+        for host in self.network.hosts.values():
+            for endpoint in host.endpoints.values():
+                if id(endpoint) in seen or not isinstance(endpoint, cls):
+                    continue
+                seen.add(id(endpoint))
+                yield endpoint
+
+    @staticmethod
+    def _secondary_outstanding(sender: WindowSender) -> dict:
+        """Seqs a second loop (PPT's LCP, RC3's LP filler, the oracle
+        filler) has in flight; these count toward ``pkts_transmitted``
+        without going through :meth:`WindowSender.transmit`."""
+        extra = {}
+        lcp = getattr(sender, "lcp", None)
+        if lcp is not None and hasattr(lcp, "outstanding"):
+            extra.update(lcp.outstanding)
+        lp = getattr(sender, "lp_outstanding", None)
+        if lp is not None:
+            extra.update(lp)
+        return extra
+
+    def _audit_sender(self, sender: WindowSender) -> None:
+        subject = f"flow{sender.flow.flow_id}"
+        now = self.sim.now
+        delivered = sender.delivered
+        n = sender.n_packets
+
+        self._check(sender.cum <= n, "flow-cum-bound", subject,
+                    "cumulative ack beyond the flow's packet count",
+                    cum=sender.cum, n_packets=n)
+        self._check(len(delivered) <= n, "flow-cum-bound", subject,
+                    "more delivered seqs than the flow has packets",
+                    delivered=len(delivered), n_packets=n)
+        overlap = len([s for s in sender.outstanding if s in delivered])
+        self._check(overlap == 0, "flow-outstanding-disjoint", subject,
+                    "seqs simultaneously delivered and outstanding",
+                    overlap=overlap)
+        late = [s for s, t in sender.outstanding.items() if t > now + TIME_EPS]
+        self._check(not late, "flow-outstanding-times", subject,
+                    "outstanding send times in the future",
+                    future_entries=len(late))
+
+        # pkts_transmitted == delivered + in-flight + retransmit waste,
+        # with waste necessarily >= 0: each delivered seq and each
+        # in-flight undelivered seq accounts for at least one distinct
+        # transmission.
+        in_flight = set(sender.outstanding)
+        in_flight.update(self._secondary_outstanding(sender))
+        in_flight_new = sum(1 for s in in_flight if s not in delivered)
+        waste = sender.pkts_transmitted - len(delivered) - in_flight_new
+        self._check(waste >= 0, "flow-tx-conservation", subject,
+                    "transmissions < delivered + in-flight "
+                    "(packets created from nothing)",
+                    pkts_transmitted=sender.pkts_transmitted,
+                    delivered=len(delivered), in_flight=in_flight_new,
+                    retransmit_waste=waste)
+
+    def _audit_receiver(self, receiver: WindowReceiver) -> None:
+        subject = f"flow{receiver.flow.flow_id}"
+        n = receiver.n_packets
+        self._check(receiver.cum <= n, "recv-cum-bound", subject,
+                    "receiver cum beyond the flow's packet count",
+                    cum=receiver.cum, n_packets=n)
+        missing = [s for s in range(receiver.cum) if s not in receiver.delivered]
+        self._check(not missing, "recv-cum-bound", subject,
+                    "cum advanced past undelivered seqs",
+                    missing_below_cum=len(missing))
+        self._check(receiver.data_pkts_received
+                    == len(receiver.delivered) + receiver.dup_pkts_received,
+                    "recv-counting", subject,
+                    "data arrivals != unique deliveries + duplicates",
+                    data_pkts_received=receiver.data_pkts_received,
+                    delivered=len(receiver.delivered),
+                    dup_pkts_received=receiver.dup_pkts_received)
+
+    def _audit_fabric_conservation(self) -> None:
+        """End-to-end conservation over the whole fabric (packet and
+        byte ledgers).  Everything is an exact equality except the
+        in-propagation residual, which is only bounded while the heap is
+        warm (packets on the wire are events, not counters) and must be
+        exactly zero once the heap empties."""
+        net = self.network
+        ports = net.ports
+        hosts = net.hosts.values()
+        switches = net.switches
+
+        offered = sum(p.mux.stats.offered for p in ports)
+        admit_killed = sum(p.fault_admit_drops for p in ports)
+        host_sends = sum(h.pkts_to_fabric for h in hosts)
+        forwarded = sum(s.pkts_forwarded for s in switches)
+        self._check(host_sends + forwarded == offered + admit_killed,
+                    "fabric-offer-conservation", "fabric",
+                    "port offers != host sends + switch forwards",
+                    host_sends=host_sends, switch_forwards=forwarded,
+                    port_offers=offered, fault_admit_drops=admit_killed)
+
+        bytes_offered = sum(p.mux.stats.bytes_offered for p in ports)
+        admit_killed_bytes = sum(p.fault_admit_drop_bytes for p in ports)
+        host_send_bytes = sum(h.bytes_to_fabric for h in hosts)
+        forwarded_bytes = sum(s.bytes_forwarded for s in switches)
+        self._check(host_send_bytes + forwarded_bytes
+                    == bytes_offered + admit_killed_bytes,
+                    "fabric-offer-conservation-bytes", "fabric",
+                    "port offer bytes != host send + switch forward bytes",
+                    host_send_bytes=host_send_bytes,
+                    switch_forward_bytes=forwarded_bytes,
+                    port_offer_bytes=bytes_offered,
+                    fault_admit_drop_bytes=admit_killed_bytes)
+
+        live, _min_live = self.sim.audit_heap()
+        sent = sum(p.pkts_sent for p in ports)
+        wire_killed = sum(p.fault_wire_drops for p in ports)
+        arrivals = forwarded + sum(h.pkts_from_fabric for h in hosts)
+        in_propagation = sent - wire_killed - arrivals
+        ok = 0 <= in_propagation <= live and (live > 0 or in_propagation == 0)
+        self._check(ok, "fabric-packet-conservation", "fabric",
+                    "transmitted packets not accounted for by arrivals, "
+                    "wire losses and in-propagation residue",
+                    pkts_sent=sent, fault_wire_drops=wire_killed,
+                    arrivals=arrivals, in_propagation=in_propagation,
+                    live_pending=live)
+
+        sent_bytes = sum(p.bytes_sent for p in ports)
+        wire_killed_bytes = sum(p.fault_wire_drop_bytes for p in ports)
+        arrival_bytes = forwarded_bytes + sum(h.bytes_from_fabric
+                                              for h in hosts)
+        in_prop_bytes = sent_bytes - wire_killed_bytes - arrival_bytes
+        ok = in_prop_bytes >= 0 and (live > 0 or in_prop_bytes == 0)
+        self._check(ok, "fabric-byte-conservation", "fabric",
+                    "transmitted bytes not accounted for by arrivals, "
+                    "wire losses and in-propagation residue",
+                    bytes_sent=sent_bytes,
+                    fault_wire_drop_bytes=wire_killed_bytes,
+                    arrival_bytes=arrival_bytes,
+                    in_propagation_bytes=in_prop_bytes)
+
+    def finalize(self, flows=None) -> ValidationReport:
+        """Drain-end harvest: one last slice check, then the transport
+        and end-to-end conservation laws.  Idempotent."""
+        if self._finalized:
+            return self.report
+        self._finalized = True
+        self.on_slice()
+        for sender in self._endpoints(WindowSender):
+            self._audit_sender(sender)
+        for receiver in self._endpoints(WindowReceiver):
+            self._audit_receiver(receiver)
+        self._audit_fabric_conservation()
+        return self.report

@@ -84,3 +84,54 @@ def test_two_flows_converge_and_complete():
         scheme.start_flow(f, ctx)
     topo.sim.run(until=5.0)
     assert all(f.completed for f in flows)
+
+
+# ---------------------------------------------------------------------------
+# INT-on-ACK regression: the ACK must carry a *snapshot* of the forward
+# path's INT, and reverse-path switches must not stamp it
+# ---------------------------------------------------------------------------
+
+
+def test_make_ack_snapshots_int_records():
+    from repro.sim.packet import DATA, Packet, make_ack
+
+    data = Packet(flow_id=3, src=0, dst=1, seq=5, size=1500, kind=DATA)
+    data.int_records = [(1000, 50_000, 1e-5, 40e9)]
+    ack = make_ack(data, ack_seq=6)
+    assert ack.int_records == data.int_records
+    # aliasing regression: growing the data packet's record list (as a
+    # later hop would) must not leak into the already-built ACK
+    data.int_records.append((2000, 60_000, 2e-5, 40e9))
+    assert len(ack.int_records) == 1
+
+
+def test_dumbbell_ack_carries_exactly_forward_path_int():
+    from conftest import quick_qcfg
+    from repro.sim.packet import ACK
+    from repro.sim.topology import dumbbell
+    from repro.units import gbps, us
+
+    topo = dumbbell(rate=gbps(10), prop_delay=us(5), qcfg=quick_qcfg())
+    scheme = Hpcc()
+    scheme.configure_network(topo.network)
+    ctx = make_ctx(topo)
+    flow = Flow(0, 0, 1, 100_000, 0.0)
+    scheme.start_flow(flow, ctx)
+    sender = topo.network.hosts[0].endpoints[0]
+
+    captured = []
+    original = sender.on_packet
+
+    def spy(pkt):
+        if pkt.kind == ACK and pkt.int_records is not None:
+            captured.append(len(pkt.int_records))
+        original(pkt)
+
+    sender.on_packet = spy
+    topo.sim.run(until=2.0)
+
+    assert flow.completed
+    assert captured
+    # forward path host0 -> sw0 -> sw1 -> host1 crosses exactly two
+    # switches; a reverse-path stamp (the old bug) would make this 4
+    assert set(captured) == {2}

@@ -1,0 +1,270 @@
+"""Tests for the repro.validate invariant auditor.
+
+Three families:
+
+* **auditor-in-the-runner** — validated runs report zero violations and
+  are bit-identical to bare runs; a deliberately corrupted mux ledger is
+  caught (the mutation test the acceptance criteria demand), strict mode
+  raising a structured :class:`InvariantViolation` naming the law;
+* **report plumbing** — pickling across worker pipes, combining across
+  sweeps, the violation cap;
+* **mux property test** — random operation sequences against a
+  :class:`PriorityMux` with :func:`audit_mux` asserted clean after every
+  single operation (doubling as the unit test for the mux validator).
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.parallel import GridTask, run_grid
+from repro.experiments.runner import run
+from repro.experiments.scenarios import (
+    all_to_all_scenario,
+    dumbbell_scenario,
+    star_fabric,
+)
+from repro.sim.packet import DATA, HEADER_BYTES, Packet
+from repro.sim.queues import PriorityMux
+from repro.transport.dctcp import Dctcp
+from repro.core.ppt import Ppt
+from repro.validate import (
+    InvariantViolation,
+    RunAuditor,
+    ValidationReport,
+    Violation,
+    audit_mux,
+)
+from repro.workloads.distributions import WEB_SEARCH
+
+
+def small_scenario(seed=21, n_flows=16):
+    return all_to_all_scenario("t-validate", WEB_SEARCH, n_flows=n_flows,
+                               fabric=star_fabric(4), seed=seed,
+                               event_budget=2_000_000)
+
+
+# ---------------------------------------------------------------------------
+# the auditor in the runner
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme_cls", [Dctcp, Ppt], ids=lambda c: c.name)
+def test_validated_run_is_clean_and_bit_identical(scheme_cls):
+    bare = run(scheme_cls(), small_scenario())
+    validated = run(scheme_cls(), small_scenario(), validate=True)
+
+    report = validated.validation
+    assert report is not None
+    assert report.ok, report.describe()
+    assert report.checks_run > 100
+
+    # The auditor observes without perturbing: identical stats, identical
+    # event count, identical per-flow completion times.
+    assert bare.validation is None
+    assert validated.stats == bare.stats
+    assert validated.wall_events == bare.wall_events
+    assert ([f.fct for f in validated.flows] == [f.fct for f in bare.flows])
+
+
+def test_dumbbell_scenario_validates_clean():
+    result = run(Dctcp(), dumbbell_scenario("t-dumbbell", n_flows=8),
+                 validate=True)
+    assert result.validation.ok, result.validation.describe()
+
+
+def _corrupt_first_mux(topo):
+    # Cook the shared-buffer ledger without touching any real packet:
+    # exactly what a buggy enqueue path would do.
+    topo.network.ports[0].mux.occupancy += 1500
+    return None
+
+
+def test_corrupted_mux_raises_in_strict_mode():
+    with pytest.raises(InvariantViolation) as exc_info:
+        run(Dctcp(), small_scenario(), validate="strict",
+            instruments=_corrupt_first_mux)
+    exc = exc_info.value
+    assert exc.law.startswith("mux-occupancy")
+    assert exc.subject  # names the offending port
+    assert "occupancy" in exc.details
+
+
+def test_corrupted_mux_reported_in_audit_mode():
+    result = run(Dctcp(), small_scenario(), validate=True,
+                 instruments=_corrupt_first_mux)
+    report = result.validation
+    assert not report.ok
+    assert any(law.startswith("mux-occupancy") for law in report.counts)
+    # every kept violation names a law, a subject and a detection time
+    for violation in report.violations:
+        assert violation.law and violation.subject
+        assert violation.sim_time >= 0.0
+
+
+def test_validate_rejects_bad_argument():
+    with pytest.raises(TypeError):
+        run(Dctcp(), small_scenario(), validate=42)
+
+
+def test_auditor_is_single_use():
+    auditor = RunAuditor()
+    run(Dctcp(), small_scenario(n_flows=4), validate=auditor)
+    with pytest.raises(RuntimeError):
+        run(Dctcp(), small_scenario(n_flows=4), validate=auditor)
+
+
+def test_grid_task_carries_validation_report():
+    tasks = [GridTask(scheme_factory=Dctcp,
+                      scenario_factory=small_scenario,
+                      params={"n_flows": 8, "seed": seed},
+                      label=f"cell{seed}", validate=True)
+             for seed in (21, 22)]
+    serial = run_grid(tasks, jobs=1)
+    forked = run_grid(tasks, jobs=2)
+    for summaries in (serial, forked):
+        for summary in summaries:
+            assert summary.validation is not None
+            assert summary.validation.ok
+    # the reports crossed the worker pipe intact
+    assert ([s.validation.checks_run for s in forked]
+            == [s.validation.checks_run for s in serial])
+
+
+# ---------------------------------------------------------------------------
+# report plumbing
+# ---------------------------------------------------------------------------
+
+
+def _sample_violation(law="mux-occupancy-sum"):
+    return Violation(law=law, subject="sw0->h1", sim_time=0.25,
+                     message="ledger disagrees", details={"occupancy": 3000})
+
+
+def test_report_pickle_roundtrip():
+    report = ValidationReport()
+    report.checks_run = 10
+    report.record(_sample_violation())
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone.violations_seen == 1
+    assert clone.counts == {"mux-occupancy-sum": 1}
+    assert clone.violations[0].describe() == report.violations[0].describe()
+
+
+def test_invariant_violation_pickle_roundtrip():
+    exc = InvariantViolation(_sample_violation())
+    clone = pickle.loads(pickle.dumps(exc))
+    assert clone.law == exc.law
+    assert clone.violation.details == exc.violation.details
+
+
+def test_report_combine_and_cap():
+    a = ValidationReport(max_kept=3)
+    a.checks_run = 5
+    for _ in range(2):
+        a.record(_sample_violation())
+    b = ValidationReport()
+    b.checks_run = 7
+    b.record(_sample_violation(law="port-serialization"))
+    total = ValidationReport.combine([a, None, b])
+    assert total.checks_run == 12
+    assert total.violations_seen == 3
+    assert total.counts == {"mux-occupancy-sum": 2, "port-serialization": 1}
+    assert not total.ok
+
+
+def test_report_caps_kept_violations_but_counts_all():
+    report = ValidationReport(max_kept=5)
+    for _ in range(20):
+        report.record(_sample_violation())
+    assert report.violations_seen == 20
+    assert len(report.violations) == 5
+    assert report.counts["mux-occupancy-sum"] == 20
+
+
+def test_strict_report_raises_immediately():
+    report = ValidationReport(strict=True)
+    with pytest.raises(InvariantViolation):
+        report.record(_sample_violation())
+
+
+# ---------------------------------------------------------------------------
+# mux property test: conservation after every operation
+# ---------------------------------------------------------------------------
+
+
+def _assert_clean(mux, op_index, op):
+    problems = audit_mux(mux)
+    assert not problems, (
+        f"after op {op_index} ({op}): "
+        + "; ".join(f"[{law}] {msg} {details}"
+                    for law, msg, details in problems))
+
+
+_pkt_st = st.tuples(
+    st.integers(min_value=HEADER_BYTES, max_value=1500),  # size
+    st.integers(min_value=0, max_value=7),                # priority
+    st.booleans(),                                        # lcp
+    st.booleans(),                                        # unscheduled
+)
+
+_op_st = st.one_of(
+    st.tuples(st.just("enqueue"), _pkt_st),
+    st.tuples(st.just("dequeue"), st.none()),
+    st.tuples(st.just("flush"), st.none()),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(_op_st, min_size=1, max_size=60),
+    buffer_bytes=st.integers(min_value=2_000, max_value=20_000),
+    trim=st.booleans(),
+    selective=st.booleans(),
+    lp_cap=st.booleans(),
+    dt=st.booleans(),
+)
+def test_mux_conservation_holds_after_every_op(ops, buffer_bytes, trim,
+                                               selective, lp_cap, dt):
+    mux = PriorityMux(
+        buffer_bytes,
+        [buffer_bytes // 2] * 8,
+        trim=trim,
+        selective_drop_threshold=buffer_bytes // 2 if selective else None,
+        lp_buffer_cap=buffer_bytes // 3 if lp_cap else None,
+        dt_alpha=(8, 8, 8, 8, 1, 1, 1, 1) if dt else None,
+    )
+    if trim:
+        mux.trim_threshold_bytes = buffer_bytes // 4
+    seq = 0
+    for i, (op, arg) in enumerate(ops):
+        if op == "enqueue":
+            size, priority, lcp, unscheduled = arg
+            pkt = Packet(flow_id=1, src=0, dst=1, seq=seq, size=size,
+                         kind=DATA, priority=priority)
+            pkt.lcp = lcp
+            pkt.unscheduled = unscheduled
+            seq += 1
+            mux.enqueue(pkt)
+        elif op == "dequeue":
+            mux.dequeue()
+        else:
+            mux.flush()
+        _assert_clean(mux, i, op)
+    # and the terminal state drains clean
+    mux.flush()
+    _assert_clean(mux, len(ops), "final flush")
+    assert mux.occupancy == 0
+
+
+def test_audit_mux_flags_cooked_ledger():
+    mux = PriorityMux(10_000)
+    pkt = Packet(flow_id=1, src=0, dst=1, seq=0, size=1500, kind=DATA,
+                 priority=0)
+    assert mux.enqueue(pkt)
+    mux.queue_occupancy[0] -= 100  # simulate a lost accounting update
+    laws = {law for law, _, _ in audit_mux(mux)}
+    assert "mux-queue-occupancy" in laws

@@ -183,3 +183,56 @@ def test_max_cwnd_cap():
     for _ in range(200):
         sender.cc_on_ack(False, 1e-5)
     assert sender.cwnd <= 50
+
+
+# ---------------------------------------------------------------------------
+# Karn's rule: ACKs of retransmitted seqs never feed the srtt estimator
+# ---------------------------------------------------------------------------
+
+
+def _make_ack_for(sender, seq, *, sent_at, ack_seq):
+    ack = Packet(flow_id=sender.flow.flow_id, src=1, dst=0, seq=seq,
+                 size=HEADER_BYTES, kind=ACK)
+    ack.sent_at = sent_at
+    ack.ack_seq = ack_seq
+    return ack
+
+
+def test_karn_skips_srtt_sample_for_retransmitted_seq():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    sender = WindowSender(Flow(0, 0, 1, 100_000, 0.0), ctx)
+    sender.transmit(0)
+    sender.transmit(0, retransmit=True)
+    srtt_before = sender.srtt
+    # an echoed sent_at from *either* copy is ambiguous; this one would
+    # read as a huge (stale-original) sample
+    sender.handle_ack(_make_ack_for(sender, 0, sent_at=-0.5, ack_seq=1))
+    assert sender.srtt == srtt_before
+
+
+def test_fresh_seq_still_feeds_srtt():
+    topo = make_star()
+    ctx = make_ctx(topo)
+    sender = WindowSender(Flow(0, 0, 1, 100_000, 0.0), ctx)
+    sender.transmit(0)
+    srtt_before = sender.srtt
+    sender.handle_ack(_make_ack_for(sender, 0, sent_at=-0.5, ack_seq=1))
+    assert sender.srtt != srtt_before
+
+
+def test_lossy_run_srtt_never_collapses_below_base_rtt():
+    from repro.faults import LossInjector
+    import random as _random
+
+    topo = make_star()
+    port = topo.network.port_named("host0->sw0")
+    LossInjector(topo.sim, port, 0.08, _random.Random("karn")).attach()
+    flow, ctx, topo = run_single_flow(PlainScheme(), 400_000, topo=topo,
+                                      until=5.0)
+    assert flow.completed
+    sender = topo.network.hosts[0].endpoints[0]
+    assert sender.pkts_retransmitted > 0
+    # Karn's rule keeps ambiguous samples out: the smoothed RTT can only
+    # sit at or above the propagation floor
+    assert sender.srtt >= sender.base_rtt

@@ -167,3 +167,42 @@ def test_ack_clocking_does_not_churn_timers():
     assert sender.acks_received > 100  # plenty of ACK-clocking happened
     # at most the completion-time cancel is ever outstanding
     assert max(dead_counts) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Dup-ACK rescan guard: skipping the O(W) hole scan while the no-hole
+# floor proves it empty must be *exactly* behaviour-preserving
+# ---------------------------------------------------------------------------
+
+
+def test_dup_ack_rescan_guard_is_bit_identical():
+    from repro.experiments.runner import run
+    from repro.experiments.scenarios import incast_scenario, star_fabric
+    from repro.transport.dctcp import DctcpSender
+    from repro.workloads.distributions import WEB_SEARCH
+
+    class LegacyRescanSender(DctcpSender):
+        # pre-guard behaviour: rescan the outstanding map on every
+        # third-and-later dup ACK, never trusting the floor
+        def _fast_retransmit(self):
+            self._no_hole_floor = None
+            super()._fast_retransmit()
+
+    class LegacyRescanDctcp(Dctcp):
+        sender_cls = LegacyRescanSender
+
+    def scenario():
+        return incast_scenario("rescan", WEB_SEARCH, n_senders=5,
+                               load=0.8, n_flows=40,
+                               fabric=star_fabric(6), seed=17)
+
+    current = run(Dctcp(), scenario())
+    legacy = run(LegacyRescanDctcp(), scenario())
+
+    # the workload must actually exercise dup-ACK recovery
+    assert current.health.retransmits_total > 0
+    assert ([f.fct for f in current.flows] == [f.fct for f in legacy.flows])
+    assert current.stats == legacy.stats
+    assert current.wall_events == legacy.wall_events
+    assert (current.health.retransmits_total
+            == legacy.health.retransmits_total)
