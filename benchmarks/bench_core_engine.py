@@ -1,31 +1,54 @@
 """Core DES engine throughput — the repo's events/sec trajectory.
 
 Not a paper figure: this is the perf baseline every hot-path change is
-judged against (ROADMAP: "as fast as the hardware allows").  Two probes:
+judged against (ROADMAP: "as fast as the hardware allows").  Probes:
 
 * ``raw-heap`` — interleaved self-rescheduling timer chains, nothing but
   ``schedule``/``run``: the heap push/pop ceiling of the engine itself;
 * ``dctcp-incast`` — a 16:1 DCTCP incast through the full datapath
   (ports, priority mux, switch, transport, ACK clocking): the number
-  that actually bounds experiment wall time, and the workload the lazy
-  RTO-timer change is measured on.
+  that actually bounds experiment wall time.  Reported best-of-N to
+  damp scheduler noise, with the run's peak heap size (``sim.pending``
+  high-water mark) — the pipelined wire keeps this flat where the
+  legacy one-event-per-packet model scaled it with in-flight packets;
+* ``leaf-spine`` — all-to-all over a 2x2 leaf-spine: multipath ECMP
+  forwarding with two switch hops per path, the topology shape the
+  validation matrix leans on;
+* ``dctcp-incast-observed`` — the incast with repro.obs telemetry
+  attached; comparing against ``dctcp-incast`` across commits bounds
+  the observation overhead (regression budget: <3%).
 
-The assertion is deliberately loose (events/sec > 0): wall-clock varies
-across machines, so the job *log* carries the number — compare it across
-commits, don't gate on it.
+Every invocation writes the rows to ``BENCH_core_engine.json`` at the
+repo root (override with ``BENCH_CORE_ENGINE_OUT``) so the trajectory
+accumulates in version control / CI artifacts.  The assertion is
+deliberately loose (events/sec > 0): wall-clock varies across machines,
+so the JSON carries the number — compare it across commits, don't gate
+on it.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 from conftest import run_figure
 from repro.experiments.runner import run
-from repro.experiments.scenarios import incast_scenario
+from repro.experiments.scenarios import (
+    all_to_all_scenario,
+    incast_scenario,
+    sim_fabric,
+)
 from repro.sim.engine import Simulator
 from repro.transport.dctcp import Dctcp
 from repro.workloads.distributions import WEB_SEARCH
 
 RAW_EVENTS = 200_000
 RAW_CHAINS = 8
+INCAST_REPEATS = 3
+
+OUT_PATH = Path(os.environ.get(
+    "BENCH_CORE_ENGINE_OUT",
+    Path(__file__).resolve().parent.parent / "BENCH_core_engine.json"))
 
 
 def _raw_heap_row():
@@ -41,7 +64,8 @@ def _raw_heap_row():
     sim.run()
     elapsed = time.perf_counter() - t0
     return {"bench": "raw-heap", "events": sim.events_run,
-            "seconds": elapsed, "events_per_sec": sim.events_run / elapsed}
+            "seconds": elapsed, "events_per_sec": sim.events_run / elapsed,
+            "peak_pending": sim.peak_pending}
 
 
 def _bench_scenario():
@@ -51,31 +75,53 @@ def _bench_scenario():
 
 
 def _incast_row():
-    scenario = _bench_scenario()
+    best = None
+    for _ in range(INCAST_REPEATS):
+        scenario = _bench_scenario()
+        t0 = time.perf_counter()
+        result = run(Dctcp(), scenario)
+        elapsed = time.perf_counter() - t0
+        assert result.completed == len(result.flows), "incast must complete"
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    elapsed, result = best
+    return {"bench": "dctcp-incast", "events": result.wall_events,
+            "seconds": elapsed,
+            "events_per_sec": result.wall_events / elapsed,
+            "peak_pending": result.health.peak_pending}
+
+
+def _leaf_spine_row():
+    scenario = all_to_all_scenario(
+        "bench-core-leaf-spine", WEB_SEARCH, n_flows=48,
+        fabric=sim_fabric(n_leaf=2, n_spine=2, hosts_per_leaf=4), seed=5)
     t0 = time.perf_counter()
     result = run(Dctcp(), scenario)
     elapsed = time.perf_counter() - t0
-    assert result.completed == len(result.flows), "incast must complete"
-    return {"bench": "dctcp-incast", "events": result.wall_events,
+    assert result.completed == len(result.flows), "leaf-spine must complete"
+    return {"bench": "leaf-spine", "events": result.wall_events,
             "seconds": elapsed,
-            "events_per_sec": result.wall_events / elapsed}
+            "events_per_sec": result.wall_events / elapsed,
+            "peak_pending": result.health.peak_pending}
 
 
 def _observed_incast_row():
-    """The same incast with repro.obs telemetry attached — its per-slice
-    wall-clock profile *is* the events/sec measurement, and comparing
-    this row against ``dctcp-incast`` across commits bounds the
-    observation overhead (regression budget: <3%)."""
     result = run(Dctcp(), _bench_scenario(), observe=True)
     assert result.completed == len(result.flows), "incast must complete"
     summary = result.telemetry.summary()
     return {"bench": "dctcp-incast-observed", "events": summary.sim_events,
             "seconds": summary.wall_seconds,
-            "events_per_sec": summary.events_per_sec}
+            "events_per_sec": summary.events_per_sec,
+            "peak_pending": result.health.peak_pending}
 
 
 def _run_bench():
-    return {"rows": [_raw_heap_row(), _incast_row(), _observed_incast_row()]}
+    rows = [_raw_heap_row(), _incast_row(), _leaf_spine_row(),
+            _observed_incast_row()]
+    payload = {"bench": "core_engine", "rows": rows}
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
 
 
 def test_core_engine_events_per_sec(benchmark):
@@ -84,3 +130,4 @@ def test_core_engine_events_per_sec(benchmark):
     for row in result["rows"]:
         assert row["events"] > 0
         assert row["events_per_sec"] > 0
+    assert OUT_PATH.exists()

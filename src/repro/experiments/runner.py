@@ -25,6 +25,7 @@ is what makes the two-pass *hypothetical DCTCP* construction
 
 from __future__ import annotations
 
+import gc
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -93,6 +94,9 @@ class RunHealth:
     # the engine's raw heap length also counts lazily-deleted timers, so
     # diagnostics use Simulator.live_pending instead
     live_pending: int = 0
+    # high-water mark of raw heap entries over the run (memory pressure;
+    # the pipelined wire model keeps this flat under incast)
+    peak_pending: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -161,9 +165,13 @@ def _progress_signature(ctx: TransportContext, network: Network) -> tuple:
     for host in network.hosts.values():
         endpoints += len(host.endpoints)
         for endpoint in host.endpoints.values():
-            d = getattr(endpoint, "delivered", None)
-            if d is not None:
-                delivered += len(d)
+            # try/except instead of getattr(..., None): nearly every
+            # endpoint has ``delivered``, and a caught attribute miss
+            # is the rare path — this runs once per endpoint per slice
+            try:
+                delivered += len(endpoint.delivered)
+            except AttributeError:
+                pass
     return (len(ctx.completed), delivered, endpoints)
 
 
@@ -290,12 +298,18 @@ def run(
     if instruments is not None:
         ctx.extra["instruments"] = instruments(topo)
 
-    for flow in flows:
-        if telemetry is None:
-            topo.sim.schedule_at(flow.start_time, scheme.start_flow, flow, ctx)
-        else:
-            topo.sim.schedule_at(flow.start_time, _observed_start,
-                                 scheme, flow, ctx, telemetry)
+    # One chain entry per flow start instead of one heap event each:
+    # seqs are claimed in the same order the schedule_at loop used to,
+    # so firing order is bit-identical while the heap holds a single
+    # entry for the whole start schedule.
+    if telemetry is None:
+        topo.sim.schedule_chain(
+            (flow.start_time, scheme.start_flow, (flow, ctx))
+            for flow in flows)
+    else:
+        topo.sim.schedule_chain(
+            (flow.start_time, _observed_start, (scheme, flow, ctx, telemetry))
+            for flow in flows)
 
     health = _drain(topo.sim, ctx, flows, scenario, faults, topo.network,
                     telemetry, auditor)
@@ -345,54 +359,74 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
     last_progress_t = 0.0
     heap_empty = False
     watchdog_tripped = False
-    while len(ctx.completed) < n_flows and t < scenario.max_time:
-        # clamp the final slice: ``t`` stepping past ``max_time`` would
-        # let the run simulate (and bill) up to one slice beyond the
-        # scenario's stated horizon
-        t = min(t + slice_len, scenario.max_time)
-        max_events = None
-        if scenario.event_budget is not None:
-            remaining = scenario.event_budget - sim.events_run
-            if remaining <= 0:
+    # Hold GC off across the whole drain, not per slice: the nested
+    # Simulator.run() guard sees GC already disabled and leaves it
+    # alone, so the gen-0 pool isn't collected at every slice boundary.
+    # The hot path creates no reference cycles, so deferring collection
+    # to the end of the drain is safe.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        while len(ctx.completed) < n_flows and t < scenario.max_time:
+            # clamp the final slice: ``t`` stepping past ``max_time``
+            # would let the run simulate (and bill) up to one slice
+            # beyond the scenario's stated horizon
+            t = min(t + slice_len, scenario.max_time)
+            max_events = None
+            if scenario.event_budget is not None:
+                remaining = scenario.event_budget - sim.events_run
+                if remaining <= 0:
+                    health.event_budget_exceeded = True
+                    break
+                max_events = remaining
+            if telemetry is None:
+                sim.run(until=t, max_events=max_events)
+            else:
+                wall_start = _time.perf_counter()
+                executed = sim.run(until=t, max_events=max_events)
+                telemetry.record_slice(t, executed,
+                                       _time.perf_counter() - wall_start)
+            # drop lazily-cancelled timers wholesale so a run's peak
+            # heap size reflects live work, not RTO corpses (pop order
+            # depends only on the (time, seq) keys, so this cannot
+            # change behaviour)
+            sim.sweep()
+            if auditor is not None:
+                auditor.on_slice()
+            if (scenario.event_budget is not None
+                    and sim.events_run >= scenario.event_budget):
                 health.event_budget_exceeded = True
                 break
-            max_events = remaining
-        if telemetry is None:
-            sim.run(until=t, max_events=max_events)
-        else:
-            wall_start = _time.perf_counter()
-            executed = sim.run(until=t, max_events=max_events)
-            telemetry.record_slice(t, executed,
-                                   _time.perf_counter() - wall_start)
-        if auditor is not None:
-            auditor.on_slice()
-        if (scenario.event_budget is not None
-                and sim.events_run >= scenario.event_budget):
-            health.event_budget_exceeded = True
-            break
-        if sim.peek_time() is None:
-            # Event heap exhausted: nothing can ever happen again, so
-            # idling through empty slices until max_time is pointless.
-            heap_empty = True
-            break
-        signature = _progress_signature(ctx, network)
-        if signature != last_signature:
-            last_signature = signature
-            last_progress_t = t
-        elif (t - last_progress_t >= stall_window
-              and (faults is None
-                   or not faults.any_active_or_recent(sim.now, grace))
-              and any(f.start_time <= sim.now and not f.completed
-                      for f in flows)):
-            # a quiet fabric is only a stall if some *started* flow is
-            # stuck — waiting for a sparse arrival schedule is not
-            watchdog_tripped = True
-            break
+            if sim.peek_time() is None:
+                # Event heap exhausted: nothing can ever happen again,
+                # so idling through empty slices until max_time is
+                # pointless.
+                heap_empty = True
+                break
+            signature = _progress_signature(ctx, network)
+            if signature != last_signature:
+                last_signature = signature
+                last_progress_t = t
+            elif (t - last_progress_t >= stall_window
+                  and (faults is None
+                       or not faults.any_active_or_recent(sim.now, grace))
+                  and any(f.start_time <= sim.now and not f.completed
+                          for f in flows)):
+                # a quiet fabric is only a stall if some *started* flow
+                # is stuck — waiting for a sparse arrival schedule is
+                # not
+                watchdog_tripped = True
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     health.completed = len(ctx.completed)
     health.events_run = sim.events_run
     health.sim_time = sim.now
     health.live_pending = sim.live_pending
+    health.peak_pending = sim.peak_pending
 
     if health.completed < n_flows and not health.event_budget_exceeded:
         quiet_for = t - last_progress_t

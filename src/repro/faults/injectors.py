@@ -68,8 +68,9 @@ class LinkFaultInjector(Injector):
     """Takes a port down and up on schedule (blackouts and flaps).
 
     While down, newly offered packets are dropped at admission, the
-    packet being serialized (if any) is lost on the wire, and everything
-    waiting in the mux is flushed — exactly what a yanked cable does.
+    packet being serialized (if any) is lost on the wire, everything
+    waiting in the mux is flushed, and the bits already propagating on
+    the link are lost with it — exactly what a yanked cable does.
     """
 
     def __init__(self, sim: Simulator, port: Port) -> None:
@@ -91,6 +92,9 @@ class LinkFaultInjector(Injector):
         self.transitions += 1
         self.down_intervals.append([self.sim.now, INFINITY])
         self.pkts_dropped += self.port.mux.flush()
+        # in-flight packets die with the link; flush_wire books them as
+        # wire-fault losses so fabric conservation stays exact
+        self.pkts_dropped += self.port.flush_wire()
         if self.transition_hook is not None:
             self.transition_hook(self.port, True)
 

@@ -133,6 +133,10 @@ class TelemetrySummary:
     slices: int = 0
     sim_events: int = 0
     wall_seconds: float = 0.0
+    # high-water mark of engine heap entries (``sim.peak_pending``) —
+    # the memory-pressure signal the pipelined wire model is meant to
+    # shrink; combine() takes the max, not the sum
+    peak_pending: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -170,6 +174,8 @@ class TelemetrySummary:
             total.slices += s.slices
             total.sim_events += s.sim_events
             total.wall_seconds += s.wall_seconds
+            if s.peak_pending > total.peak_pending:
+                total.peak_pending = s.peak_pending
         total.counts = dict(counts)
         return total
 
@@ -333,6 +339,8 @@ class Telemetry:
             slices=slices,
             sim_events=sum(events for _t, events, _w in self.profile),
             wall_seconds=sum(wall for _t, _e, wall in self.profile),
+            peak_pending=getattr(self.sim, "peak_pending", 0)
+            if self.sim is not None else 0,
         )
 
     # -- persistence -------------------------------------------------------

@@ -8,31 +8,79 @@ every simulation bit-for-bit reproducible.
 Events are cancellable: :meth:`Event.cancel` marks the entry dead and the
 run loop skips it (lazy deletion), which is the standard way to get O(log n)
 cancellation out of ``heapq``.
+
+Three hot-path mechanisms keep per-packet overhead down (see
+``docs/architecture.md`` §"The hot path"):
+
+* an **event free-list** — every ``schedule`` draws from a pool of dead
+  Event objects; events scheduled through
+  :meth:`Simulator.schedule_recycled` / :meth:`Simulator.schedule_reserved`
+  are returned to the pool after firing, cutting allocation churn on the
+  packet path.  Returning is opt-in because a recycled object may be
+  handed out again: only call sites that provably drop their reference
+  before the event fires (the port serializer, the wire head arrival)
+  may use it.
+* **reserved sequence numbers** — :meth:`Simulator.reserve_seq` hands out
+  a tie-break seq *now* for an event inserted *later* via
+  :meth:`Simulator.schedule_reserved`.  The pipelined wire uses this to
+  keep exactly one heap entry per link while firing arrivals with the
+  exact ``(time, seq)`` keys the legacy one-event-per-packet model would
+  have used — which is what makes the wire model bit-identical.
+* an **event chain** (:class:`EventChain`) — a batch of pre-declared
+  future events (the runner's flow-start schedule) reserves all its seqs
+  up front but keeps only its earliest entry resident in the heap; each
+  firing arms the next.  Same determinism argument as the wire, applied
+  to the control plane.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, Optional
+import sys
+from typing import Any, Callable, Iterable, Optional, Tuple
+
+# Events returned to the free-list beyond this are dropped to the GC; the
+# pool only needs to cover the handful of port/wire events live at once.
+FREE_LIST_MAX = 1024
+
+_INF = float("inf")
+_NO_BUDGET = sys.maxsize
 
 
 class Event:
-    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    The run loop re-uses ``cancelled`` as the fired marker (set just
+    before the callback runs), so :meth:`cancel` is a no-op on an event
+    that already went off — callers may keep a handle and cancel it
+    late without corrupting the engine's live-event counter.
+    """
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    __slots__ = ("time", "fn", "args", "cancelled", "recycle", "_sim")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # opt-in free-list return (see module docstring)
+        self.recycle = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Safe to call more than once."""
+        """Prevent the event from firing.  Safe to call more than once,
+        and a no-op on an event that has already fired."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "dead" if self.cancelled else "pending"
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.9f} {name} {state}>"
 
@@ -49,7 +97,8 @@ class Simulator:
     ``sim.now`` is the current simulation time in seconds.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_run", "_running")
+    __slots__ = ("now", "_heap", "_seq", "_events_run", "_running",
+                 "_live", "_free", "peak_pending")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -57,6 +106,16 @@ class Simulator:
         self._seq: int = 0
         self._events_run: int = 0
         self._running: bool = False
+        # live (uncancelled, unfired) events — maintained incrementally
+        # (schedule: +1, cancel/fire: -1) so diagnostics never scan.
+        # The run loops settle their fires in one batch at exit, so the
+        # counter may read high *during* a callback; every exact
+        # consumer (watchdog, auditor) reads between runs.
+        self._live: int = 0
+        # dead-Event pool (see module docstring)
+        self._free: list = []
+        # high-water mark of raw heap entries, updated on every push
+        self.peak_pending: int = 0
 
     # -- scheduling -----------------------------------------------------
 
@@ -71,14 +130,107 @@ class Simulator:
             if delay < self.NEGATIVE_DELAY_TOLERANCE:
                 raise ValueError(f"cannot schedule into the past (delay={delay})")
             delay = 0.0
-        event = Event(self.now + delay, fn, args)
+        time = self.now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event.recycle = False
+        else:
+            event = Event(time, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, (event.time, self._seq, event))
+        self._live += 1
+        heap = self._heap
+        heapq.heappush(heap, (time, self._seq, event))
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
+        return event
+
+    def schedule_recycled(self, delay: float, fn: Callable[..., Any],
+                          *args: Any) -> Event:
+        """Like :meth:`schedule`, but the event returns to the free-list
+        after firing.  The caller MUST NOT keep a reference past the
+        callback (the object may be handed out again by a later
+        ``schedule``); cancelled events are never recycled."""
+        # full copy of schedule() — this runs once per transmitted
+        # packet, so it does not pay a delegation frame
+        if delay < 0:
+            if delay < self.NEGATIVE_DELAY_TOLERANCE:
+                raise ValueError(f"cannot schedule into the past (delay={delay})")
+            delay = 0.0
+        time = self.now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, fn, args, self)
+        event.recycle = True
+        self._seq += 1
+        self._live += 1
+        heap = self._heap
+        heapq.heappush(heap, (time, self._seq, event))
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
         return self.schedule(time - self.now, fn, *args)
+
+    def reserve_seq(self) -> int:
+        """Claim the next insertion-order seq without scheduling yet.
+
+        Pair with :meth:`schedule_reserved`.  The pipelined wire reserves
+        a seq the moment a packet finishes serializing (exactly when the
+        legacy model would have scheduled its arrival), then inserts the
+        head event later — so same-instant tie-breaking is unchanged.
+        """
+        self._seq += 1
+        return self._seq
+
+    def schedule_reserved(self, time: float, seq: int,
+                          fn: Callable[..., Any], *args: Any) -> Event:
+        """Insert an event at absolute ``time`` with a pre-reserved seq.
+
+        ``time`` must not lie in the past and ``seq`` must come from
+        :meth:`reserve_seq`; the event is free-list recycled after it
+        fires.  No new seq is consumed, so surrounding ``schedule``
+        calls see the exact counter values they would have seen had the
+        event been inserted at reservation time.
+        """
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, fn, args, self)
+        event.recycle = True
+        self._live += 1
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, event))
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
+        return event
+
+    def schedule_chain(self, entries: Iterable[Tuple]) -> "EventChain":
+        """Declare a batch of future events held as ONE heap entry.
+
+        ``entries`` yields ``(absolute_time, fn, args)`` tuples; each
+        claims a seq in iteration order — exactly what a loop of
+        ``schedule_at`` calls would have consumed — so scheduling a
+        chain is bit-identical to scheduling the events individually.
+        """
+        return EventChain(self, entries)
 
     # -- execution ------------------------------------------------------
 
@@ -89,25 +241,26 @@ class Simulator:
         ``until``, or after ``max_events`` events.  Returns the number of
         events executed by this call.
         """
-        executed = 0
-        heap = self._heap
         self._running = True
+        # The loop allocates heavily (heap entries, packets, ACKs) but
+        # creates no reference cycles, so the generational collector
+        # only burns time scanning survivors — suspend it for the drain.
+        # (~1k gen-0 collections per medium run otherwise.)
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while heap:
-                time, _seq, event = heap[0]
-                if event.cancelled:
-                    heapq.heappop(heap)
-                    continue
-                if until is not None and time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                heapq.heappop(heap)
-                self.now = time
-                event.fn(*event.args)
-                executed += 1
+            if max_events is None:
+                if until is None:
+                    executed = self._run_unbounded()
+                else:
+                    executed = self._run_until(until)
+            else:
+                executed = self._run_bounded(until, max_events)
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
         if until is not None and self.now < until:
             # Fast-forward the clock only when the heap really was drained
             # up to ``until``.  If the loop broke on ``max_events`` there
@@ -120,44 +273,188 @@ class Simulator:
         self._events_run += executed
         return executed
 
+    def _run_unbounded(self) -> int:
+        """Drain everything: no bound checks anywhere in the loop."""
+        heap = self._heap
+        pop = heapq.heappop
+        free = self._free
+        executed = 0
+        while heap:
+            time, _seq, event = pop(heap)
+            if event.cancelled:
+                continue
+            event.cancelled = True  # fired; late cancel() is now a no-op
+            self.now = time
+            executed += 1
+            event.fn(*event.args)
+            if event.recycle:
+                event.fn = None
+                event.args = None  # drop packet refs before pooling
+                if len(free) < FREE_LIST_MAX:
+                    free.append(event)
+        self._live -= executed
+        return executed
+
+    def _run_until(self, until: float) -> int:
+        """Time-sliced drain with no event budget — the common slice loop
+        (the runner drains in ~200 slices per run), so it carries no
+        per-iteration budget compare.  An overshooting head is pushed
+        straight back (same key — order is untouched)."""
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        free = self._free
+        executed = 0
+        while heap:
+            entry = pop(heap)
+            event = entry[2]
+            if event.cancelled:
+                continue
+            time = entry[0]
+            if time > until:
+                push(heap, entry)
+                break
+            event.cancelled = True  # fired; late cancel() is now a no-op
+            self.now = time
+            executed += 1
+            event.fn(*event.args)
+            if event.recycle:
+                event.fn = None
+                event.args = None  # drop packet refs before pooling
+                if len(free) < FREE_LIST_MAX:
+                    free.append(event)
+        self._live -= executed
+        return executed
+
+    def _run_bounded(self, until: Optional[float],
+                     max_events: Optional[int]) -> int:
+        """Slice drain: ``None`` bounds become +inf/maxsize sentinels so
+        the loop compares plain numbers instead of branching on None.
+        An overshooting head is pushed straight back (same key — order
+        is untouched) rather than peeked at every iteration."""
+        heap = self._heap
+        pop = heapq.heappop
+        free = self._free
+        until_f = _INF if until is None else until
+        budget = _NO_BUDGET if max_events is None else max_events
+        executed = 0
+        while heap and executed < budget:
+            entry = pop(heap)
+            event = entry[2]
+            if event.cancelled:
+                continue
+            time = entry[0]
+            if time > until_f:
+                heapq.heappush(heap, entry)
+                break
+            event.cancelled = True
+            self.now = time
+            executed += 1
+            event.fn(*event.args)
+            if event.recycle:
+                event.fn = None
+                event.args = None
+                if len(free) < FREE_LIST_MAX:
+                    free.append(event)
+        self._live -= executed
+        return executed
+
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False if none remain."""
         heap = self._heap
         while heap:
-            time, _seq, event = heap[0]
-            heapq.heappop(heap)
+            time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
                 continue
+            event.cancelled = True
+            self._live -= 1
             self.now = time
             event.fn(*event.args)
             self._events_run += 1
+            if event.recycle:
+                event.fn = None
+                event.args = None
+                if len(self._free) < FREE_LIST_MAX:
+                    self._free.append(event)
             return True
         return False
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or None when the heap is empty."""
+        """Time of the next live event, or None when the heap is empty.
+
+        Pure read: unlike the historical implementation this never pops
+        lazily-cancelled entries, so callers polling between slices (the
+        runner watchdog) observe engine state without mutating it.  Use
+        :meth:`compact` when you actually want corpses swept.
+        """
         heap = self._heap
+        if heap:
+            head = heap[0]
+            if not head[2].cancelled:
+                return head[0]
+        if self._live == 0:
+            return None
+        # cancelled head: scan for the earliest live entry (rare — the
+        # run loop pops corpses for free as it drains)
+        best: Optional[float] = None
+        for time, _seq, event in heap:
+            if not event.cancelled and (best is None or time < best):
+                best = time
+        return best
+
+    def compact(self) -> int:
+        """Explicitly pop cancelled entries off the heap head; returns
+        how many corpses were removed.  Never required for correctness —
+        the run loop skips corpses lazily — but callers that just
+        cancelled a large batch can reclaim the memory eagerly."""
+        heap = self._heap
+        removed = 0
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
-        return heap[0][0] if heap else None
+            removed += 1
+        return removed
+
+    def sweep(self) -> int:
+        """Drop every cancelled entry (not just head corpses) and
+        restore the heap invariant; returns how many were removed.
+
+        Determinism-safe: entries are totally ordered by their unique
+        ``(time, seq)`` keys, so any valid heap over the same live
+        entries pops in exactly the same order.  Must not be called
+        from inside a running callback (the run loops hold the heap
+        list as a local); the experiment runner sweeps between drain
+        slices so long-dead timers stop inflating ``pending``.
+        """
+        heap = self._heap
+        if len(heap) == self._live:
+            return 0
+        live = [entry for entry in heap if not entry[2].cancelled]
+        removed = len(heap) - len(live)
+        if removed:
+            heapq.heapify(live)
+            self._heap = live
+        return removed
 
     def audit_heap(self) -> tuple:
-        """``(live_count, min_live_time)`` in one non-destructive pass.
+        """``(live_count, min_live_time)`` without touching engine state.
 
-        Unlike :meth:`peek_time` this never pops lazily-cancelled
-        entries, so the invariant auditor can call it without touching
-        engine state at all.  ``min_live_time`` is None when no live
-        event is pending.
+        ``live_count`` reads the incremental counter (O(1));
+        ``min_live_time`` is the head entry when it is live (the common
+        case) and falls back to a scan only when the head is a corpse.
+        ``min_live_time`` is None when no live event is pending.
         """
-        live = 0
+        heap = self._heap
+        if heap and not heap[0][2].cancelled:
+            return self._live, heap[0][0]
+        if self._live == 0:
+            return 0, None
         min_time: Optional[float] = None
-        for time, _seq, event in self._heap:
+        for time, _seq, event in heap:
             if event.cancelled:
                 continue
-            live += 1
             if min_time is None or time < min_time:
                 min_time = time
-        return live, min_time
+        return self._live, min_time
 
     @property
     def pending(self) -> int:
@@ -171,10 +468,81 @@ class Simulator:
         ``pending`` counts raw heap entries, which with lazy deletion
         includes already-cancelled timers; diagnostics (the run-health
         watchdog, stall reports) should use this count instead.
+        Maintained incrementally — schedule increments, cancel and fire
+        decrement — so reading it is O(1) (``tests/test_engine.py`` and
+        ``validate.RunAuditor`` cross-check it against a full heap scan).
         """
-        return sum(1 for _, _, event in self._heap if not event.cancelled)
+        return self._live
 
     @property
     def events_run(self) -> int:
         """Total events executed over the simulator's lifetime."""
         return self._events_run
+
+
+class EventChain:
+    """A batch of pre-declared events held as one resident heap entry.
+
+    The reserve-then-arm trick of the pipelined wire, generalised: every
+    entry claims its tie-break seq at declaration time (in iteration
+    order, exactly as individual ``schedule_at`` calls would), the
+    entries are sorted by ``(time, seq)`` — the heap's own order — and
+    only the earliest is scheduled; each firing arms its successor.  A
+    run that pre-declares N flow starts therefore keeps 1 heap entry
+    for them instead of N, with bit-identical firing order.
+
+    Entries cannot be cancelled individually (nothing in the repo needs
+    to); drop the chain wholesale with :meth:`cancel`.
+    """
+
+    __slots__ = ("sim", "_entries", "_next", "head_event")
+
+    def __init__(self, sim: Simulator, entries: Iterable[Tuple]) -> None:
+        self.sim = sim
+        tolerance = sim.NEGATIVE_DELAY_TOLERANCE
+        resolved = []
+        for time, fn, args in entries:
+            delay = time - sim.now
+            if delay < 0:
+                if delay < tolerance:
+                    raise ValueError(
+                        f"cannot schedule into the past (delay={delay})")
+                delay = 0.0
+            sim._seq += 1
+            resolved.append((sim.now + delay, sim._seq, fn, args))
+        resolved.sort(key=lambda entry: (entry[0], entry[1]))
+        self._entries = resolved
+        self._next = 0
+        self.head_event: Optional[Event] = None
+        if resolved:
+            time, seq, _fn, _args = resolved[0]
+            self.head_event = sim.schedule_reserved(time, seq, self._fire)
+
+    def _fire(self) -> None:
+        # arm the successor BEFORE the callback so a non-empty chain
+        # always has its head in the heap, exactly like the wire
+        entries = self._entries
+        index = self._next
+        _time, _seq, fn, args = entries[index]
+        index += 1
+        self._next = index
+        if index < len(entries):
+            time, seq, _fn, _args = entries[index]
+            self.head_event = self.sim.schedule_reserved(time, seq, self._fire)
+        else:
+            self.head_event = None
+            self._entries = []  # drop callback/arg refs once exhausted
+            self._next = 0      # keep __len__ at 0 for the empty list
+        fn(*args)
+
+    def cancel(self) -> None:
+        """Stop the chain: no remaining entry will fire."""
+        if self.head_event is not None:
+            self.head_event.cancel()
+            self.head_event = None
+        self._entries = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        """Entries still to fire."""
+        return len(self._entries) - self._next

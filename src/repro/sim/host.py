@@ -61,9 +61,27 @@ class Host:
         self.ops_sent += 1
         self.pkts_to_fabric += 1
         self.bytes_to_fabric += pkt.size
-        if self.uplink is None:
+        port = self.uplink
+        if port is None:
             raise RuntimeError(f"{self.name} has no uplink attached")
-        return self.uplink.send(pkt)
+        if type(port) is not Port:
+            # test doubles substitute duck-typed ports for the uplink;
+            # only the real Port gets the inlined fast path below
+            return port.send(pkt)
+        # Port.send, inlined: one NIC admission per transmitted packet
+        chain = port.fault_chain
+        if chain is not None and not chain.admit(pkt):
+            port.fault_admit_drops += 1
+            port.fault_admit_drop_bytes += pkt.size
+            return False
+        now = port.sim.now
+        pkt.queue_delay -= now  # finalized on dequeue
+        if not port.mux.enqueue(pkt):
+            pkt.queue_delay += now  # undo; packet is gone anyway
+            return False
+        if not port.busy:
+            port._start_next()
+        return True
 
     def receive(self, pkt: Packet) -> None:
         """Dispatch a packet arriving off the queued fabric."""
@@ -75,7 +93,12 @@ class Host:
             # ever sees it — recovery is the sender's problem
             self.corrupt_discards += 1
             return
-        self._dispatch(pkt)
+        # _dispatch, inlined: this runs once per delivered data packet
+        endpoint = self.endpoints.get(pkt.flow_id)
+        if endpoint is not None:
+            endpoint.on_packet(pkt)
+        elif self.default_endpoint is not None:
+            self.default_endpoint.on_packet(pkt)
 
     def receive_control(self, pkt: Packet) -> None:
         """Dispatch a packet delivered over the ideal control path.
@@ -86,7 +109,12 @@ class Host:
         Corruption cannot happen here — injectors sit on ports.
         """
         self.ops_received += 1
-        self._dispatch(pkt)
+        # _dispatch, inlined: this runs once per delivered control packet
+        endpoint = self.endpoints.get(pkt.flow_id)
+        if endpoint is not None:
+            endpoint.on_packet(pkt)
+        elif self.default_endpoint is not None:
+            self.default_endpoint.on_packet(pkt)
 
     def _dispatch(self, pkt: Packet) -> None:
         endpoint = self.endpoints.get(pkt.flow_id)

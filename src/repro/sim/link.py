@@ -3,17 +3,27 @@
 A :class:`Port` is the unit of contention in the simulator.  Every device
 (host NIC or switch port) owns one Port per outgoing link.  When a packet is
 enqueued and the transmitter is idle, transmission begins immediately;
-otherwise the packet waits in the mux.  Completion of a transmission
-schedules the arrival at the peer after the propagation delay and pulls the
-next packet from the mux.
+otherwise the packet waits in the mux.  Completion of a transmission hands
+the packet to the port's :class:`Wire`, which delivers it to the peer after
+the propagation delay, and pulls the next packet from the mux.
+
+The wire is a *pipelined* FIFO modelled after htsim's pipe: a deque of
+in-flight ``(arrival_time, seq, pkt)`` entries with exactly **one**
+scheduled head-arrival event per link, instead of one heap event per
+in-flight packet.  FIFO delivery is exact — the port serializes in order
+and ``prop_delay`` is constant, so arrival times are strictly increasing —
+and bit-identity with the legacy one-event-per-packet model is guaranteed
+by reserving each arrival's tie-break seq at serialization-completion time
+(see :meth:`~repro.sim.engine.Simulator.reserve_seq`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
+from heapq import heappush
+from typing import List, Optional
 
-from ..units import serialization_delay
-from .engine import Simulator
+from .engine import Event, Simulator
 from .packet import Packet
 from .queues import PriorityMux
 
@@ -48,6 +58,137 @@ class FaultChain:
         return True
 
 
+class Wire:
+    """The propagation pipe between a port and its peer.
+
+    ``pending`` holds every in-flight packet as ``(arrival_time, seq,
+    pkt, event)`` in FIFO order.  In pipelined mode (the default) only
+    the head has a scheduled event (``event`` is None in the tuples;
+    the single head event lives in ``head_event``) and delivering the
+    head arms the next entry with its *reserved* seq.  Legacy mode
+    schedules one event per packet — the historical model, kept so the
+    equivalence suite can pin bit-identity between the two.
+
+    Either way the deque is the authoritative record of what is on the
+    wire: the invariant auditor reads it for the fabric in-propagation
+    residual, and :meth:`flush` (link failure mid-flight) drops exactly
+    its contents.
+    """
+
+    # Flip to False to build new wires in legacy one-event-per-packet
+    # mode (tests/test_wire_equivalence.py monkeypatches this).
+    PIPELINED_DEFAULT = True
+
+    __slots__ = ("sim", "port", "pending", "head_event", "pipelined",
+                 "_deliver_cb", "_recv_cb")
+
+    def __init__(self, sim: Simulator, port: "Port",
+                 pipelined: Optional[bool] = None) -> None:
+        self.sim = sim
+        self.port = port
+        self.pending: deque = deque()
+        self.head_event = None
+        self.pipelined = (self.PIPELINED_DEFAULT if pipelined is None
+                          else pipelined)
+        # bound once: the head-arrival callback is installed once per
+        # packet, and binding it per install shows up in profiles
+        self._deliver_cb = self._deliver
+        # peer.receive, bound lazily on first delivery (the peer is
+        # fixed after Port construction — nothing ever reassigns it)
+        self._recv_cb = None
+
+    def push(self, pkt: Packet) -> None:
+        """Put a freshly serialized packet onto the wire.
+
+        Called at serialization-completion time; the seq reserved here is
+        exactly the one the legacy model's ``schedule`` would have
+        consumed, so heap tie-breaking is unchanged.
+        """
+        sim = self.sim
+        arrival = sim.now + self.port.prop_delay
+        sim._seq += 1  # reserve_seq(), sans the call frame — hot path
+        seq = sim._seq
+        if self.pipelined:
+            self.pending.append((arrival, seq, pkt, None))
+            if self.head_event is None:
+                self.head_event = sim.schedule_reserved(
+                    arrival, seq, self._deliver)
+        else:
+            event = sim.schedule_reserved(arrival, seq, self._deliver_legacy)
+            self.pending.append((arrival, seq, pkt, event))
+
+    def _deliver(self) -> None:
+        """Head arrival: hand the packet to the peer, re-arm for the next.
+
+        The next entry is armed *before* the peer callback runs so that
+        whenever any other event executes, a non-empty wire always has
+        its head in the heap — the same visibility the legacy model
+        provides to heap-inspecting diagnostics.
+        """
+        pending = self.pending
+        _arrival, _seq, pkt, _event = pending.popleft()
+        if pending:
+            # schedule_reserved, inlined (hot: once per pipelined packet)
+            arrival, seq, _pkt, _ = pending[0]
+            sim = self.sim
+            free = sim._free
+            if free:
+                event = free.pop()
+                event.time = arrival
+                event.fn = self._deliver_cb
+                event.args = ()
+                event.cancelled = False
+            else:
+                event = Event(arrival, self._deliver_cb, (), sim)
+            event.recycle = True
+            sim._live += 1
+            heap = sim._heap
+            heappush(heap, (arrival, seq, event))
+            if len(heap) > sim.peak_pending:
+                sim.peak_pending = len(heap)
+            self.head_event = event
+        else:
+            self.head_event = None
+        recv = self._recv_cb
+        if recv is None:
+            recv = self._recv_cb = self.port.peer.receive
+        recv(pkt)
+
+    def _deliver_legacy(self) -> None:
+        # events fire in arrival order and arrivals are FIFO, so the
+        # head of the deque is always the packet this event carries
+        _arrival, _seq, pkt, _event = self.pending.popleft()
+        self.port.peer.receive(pkt)
+
+    def flush(self) -> List[Packet]:
+        """Drop every in-flight packet (yanked cable); returns them.
+
+        The caller is responsible for accounting — see
+        :meth:`Port.flush_wire`, which books them as wire-fault losses.
+        """
+        if self.head_event is not None:
+            self.head_event.cancel()
+            self.head_event = None
+        flushed: List[Packet] = []
+        for _arrival, _seq, pkt, event in self.pending:
+            if event is not None:
+                event.cancel()
+            flushed.append(pkt)
+        self.pending.clear()
+        return flushed
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    @property
+    def in_flight_bytes(self) -> int:
+        return sum(entry[2].size for entry in self.pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "pipelined" if self.pipelined else "legacy"
+        return f"<Wire {self.port.name} {mode} in_flight={len(self.pending)}>"
+
+
 class Port:
     """A transmitter + queue attached to one end of a link.
 
@@ -68,9 +209,9 @@ class Port:
     """
 
     __slots__ = (
-        "sim", "rate_bps", "prop_delay", "mux", "peer", "name",
-        "busy", "bytes_sent", "pkts_sent", "busy_time", "_tx_start",
-        "fault_chain",
+        "sim", "_rate_bps", "byte_time", "prop_delay", "mux", "peer", "name",
+        "wire", "busy", "bytes_sent", "pkts_sent", "busy_time", "_tx_start",
+        "_tx_cb", "fault_chain",
         "fault_admit_drops", "fault_admit_drop_bytes",
         "fault_wire_drops", "fault_wire_drop_bytes",
     )
@@ -85,16 +226,19 @@ class Port:
         name: str = "",
     ) -> None:
         self.sim = sim
-        self.rate_bps = rate_bps
+        self._rate_bps = rate_bps
+        self.byte_time = 8.0 / rate_bps
         self.prop_delay = prop_delay
         self.mux = mux
         self.peer = peer
         self.name = name
+        self.wire = Wire(sim, self)
         self.busy = False
         self.bytes_sent = 0
         self.pkts_sent = 0
         self.busy_time = 0.0
         self._tx_start = 0.0
+        self._tx_cb = self._tx_done  # bound once; installed per packet
         self.fault_chain: Optional[FaultChain] = None
         # Conservation-ledger counters (repro.validate): packets a fault
         # chain killed before the mux saw them vs. on the wire after
@@ -105,6 +249,17 @@ class Port:
         self.fault_admit_drop_bytes = 0
         self.fault_wire_drops = 0
         self.fault_wire_drop_bytes = 0
+
+    @property
+    def rate_bps(self) -> float:
+        """Link capacity; assignable (the port degrader rescales it) —
+        the setter keeps the cached per-byte serialization time fresh."""
+        return self._rate_bps
+
+    @rate_bps.setter
+    def rate_bps(self, value: float) -> None:
+        self._rate_bps = value
+        self.byte_time = 8.0 / value
 
     # -- fault injection --------------------------------------------------
 
@@ -124,6 +279,20 @@ class Port:
         if not chain.injectors:
             self.fault_chain = None
 
+    def flush_wire(self) -> int:
+        """Drop every packet propagating on this link (dead link).
+
+        Flushed packets already counted as transmitted (``pkts_sent``)
+        but will never arrive, so they are booked as wire-fault losses —
+        the same ledger a ``transmit()`` veto feeds — keeping the
+        fabric's packet/byte conservation laws exact.
+        """
+        flushed = self.wire.flush()
+        for pkt in flushed:
+            self.fault_wire_drops += 1
+            self.fault_wire_drop_bytes += pkt.size
+        return len(flushed)
+
     # -- transmission -----------------------------------------------------
 
     def send(self, pkt: Packet) -> bool:
@@ -142,15 +311,60 @@ class Port:
         return True
 
     def _start_next(self) -> None:
-        pkt = self.mux.dequeue()
-        if pkt is None:
+        # PriorityMux.dequeue + Simulator.schedule_recycled, inlined:
+        # this is the single hottest function after the run loop (once
+        # per serialized packet), and at that rate the two call frames
+        # and re-checked branches are measurable.  The mux ledger
+        # updates below MUST mirror PriorityMux.dequeue exactly (the
+        # invariant auditor cross-checks them every run).
+        mux = self.mux
+        mask = mux.nonempty_mask
+        if not mask:
             self.busy = False
             return
-        pkt.queue_delay += self.sim.now  # time spent waiting in the mux
+        priority = (mask & -mask).bit_length() - 1
+        queue = mux.queues[priority]
+        pkt = queue.popleft()
+        if not queue:
+            mux.nonempty_mask = mask & (mask - 1)
+        size = pkt.size
+        mux.occupancy -= size
+        mux.queue_occupancy[priority] -= size
+        if priority < 4:
+            mux.hp_occupancy -= size
+        if pkt.lcp:
+            mux.lp_occupancy -= size
+        mux.pkt_count -= 1
+        stats = mux.stats
+        stats.dequeued += 1
+        stats.bytes_dequeued += size
+        sim = self.sim
+        now = sim.now
+        pkt.queue_delay += now  # time spent waiting in the mux
         self.busy = True
-        self._tx_start = self.sim.now
-        tx_time = serialization_delay(pkt.size, self.rate_bps)
-        self.sim.schedule(tx_time, self._tx_done, pkt)
+        self._tx_start = now
+        # Inlined units.serialization_delay.  Deliberately NOT
+        # ``pkt.size * self.byte_time``: the cached reciprocal double-
+        # rounds (~25-40% of sizes differ in the last ulp), which would
+        # break bit-identical reproduction; a single division keeps the
+        # exact float the simulator has always produced.
+        time = now + size * 8.0 / self._rate_bps
+        free = sim._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.fn = self._tx_cb
+            event.args = (pkt,)
+            event.cancelled = False
+        else:
+            event = Event(time, self._tx_cb, (pkt,), sim)
+        event.recycle = True
+        sim._seq += 1
+        sim._live += 1
+        heap = sim._heap
+        heappush(heap, (time, sim._seq, event))
+        if len(heap) > sim.peak_pending:
+            sim.peak_pending = len(heap)
 
     def _tx_done(self, pkt: Packet) -> None:
         self.bytes_sent += pkt.size
@@ -163,13 +377,48 @@ class Port:
             self._start_next()  # lost on the wire (link down, ...)
             return
         if self.peer is not None:
-            self.sim.schedule(self.prop_delay, self.peer.receive, pkt)
-        self._start_next()
+            # Wire.push, inlined (once per transmitted packet): reserve
+            # the arrival's tie-break seq now, append to the in-flight
+            # deque, arm the head event only when the wire was idle.
+            wire = self.wire
+            sim = self.sim
+            arrival = sim.now + self.prop_delay
+            sim._seq += 1
+            seq = sim._seq
+            if wire.pipelined:
+                wire.pending.append((arrival, seq, pkt, None))
+                if wire.head_event is None:
+                    # schedule_reserved, inlined (see _start_next)
+                    free = sim._free
+                    if free:
+                        event = free.pop()
+                        event.time = arrival
+                        event.fn = wire._deliver_cb
+                        event.args = ()
+                        event.cancelled = False
+                    else:
+                        event = Event(arrival, wire._deliver_cb, (), sim)
+                    event.recycle = True
+                    sim._live += 1
+                    heap = sim._heap
+                    heappush(heap, (arrival, seq, event))
+                    if len(heap) > sim.peak_pending:
+                        sim.peak_pending = len(heap)
+                    wire.head_event = event
+            else:
+                wire.pending.append((arrival, seq, pkt, sim.schedule_reserved(
+                    arrival, seq, wire._deliver_legacy)))
+        # _start_next's idle fast path, hoisted: after a transmission the
+        # mux is empty more often than not, and the frame is measurable
+        if self.mux.nonempty_mask:
+            self._start_next()
+        else:
+            self.busy = False
 
     @property
     def backlog_bytes(self) -> int:
-        """Bytes waiting in the mux (excludes the packet on the wire)."""
+        """Bytes waiting in the mux (excludes packets on the wire)."""
         return self.mux.occupancy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Port {self.name} rate={self.rate_bps/1e9:.0f}Gbps busy={self.busy}>"
+        return f"<Port {self.name} rate={self._rate_bps/1e9:.0f}Gbps busy={self.busy}>"

@@ -13,10 +13,11 @@ from __future__ import annotations
 import fnmatch
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..units import ecn_threshold_bytes, serialization_delay
-from .engine import Simulator
+from .engine import Event, Simulator
 from .host import Host
 from .link import Port
 from .packet import HEADER_BYTES, NUM_PRIORITIES, Packet
@@ -71,6 +72,80 @@ class QueueConfig:
         )
 
 
+class ControlPipe:
+    """Ideal-path FIFO between one (src, dst) host pair.
+
+    The control plane delivers after a *constant* per-pair base delay,
+    so deliveries are FIFO exactly like a wire — one resident head
+    event with reserved seqs replaces one heap event per in-flight
+    control packet (see :class:`~repro.sim.link.Wire` for the
+    determinism argument).
+    """
+
+    __slots__ = ("sim", "deliver", "pending", "head_event", "_fire_cb")
+
+    def __init__(self, sim: Simulator, deliver) -> None:
+        self.sim = sim
+        self.deliver = deliver  # bound Host.receive_control
+        self.pending: deque = deque()
+        self.head_event = None
+        self._fire_cb = self._fire  # bound once; installed per packet
+
+    def send(self, delay: float, pkt: Packet) -> None:
+        # reserve_seq + schedule_reserved, inlined — per-ACK hot path
+        sim = self.sim
+        arrival = sim.now + delay
+        sim._seq += 1
+        seq = sim._seq
+        self.pending.append((arrival, seq, pkt))
+        if self.head_event is None:
+            free = sim._free
+            if free:
+                event = free.pop()
+                event.time = arrival
+                event.fn = self._fire_cb
+                event.args = ()
+                event.cancelled = False
+            else:
+                event = Event(arrival, self._fire_cb, (), sim)
+            event.recycle = True
+            sim._live += 1
+            heap = sim._heap
+            heappush(heap, (arrival, seq, event))
+            if len(heap) > sim.peak_pending:
+                sim.peak_pending = len(heap)
+            self.head_event = event
+
+    def _fire(self) -> None:
+        pending = self.pending
+        _arrival, _seq, pkt = pending.popleft()
+        if pending:
+            arrival, seq, _pkt = pending[0]
+            sim = self.sim
+            free = sim._free
+            if free:
+                event = free.pop()
+                event.time = arrival
+                event.fn = self._fire_cb
+                event.args = ()
+                event.cancelled = False
+            else:
+                event = Event(arrival, self._fire_cb, (), sim)
+            event.recycle = True
+            sim._live += 1
+            heap = sim._heap
+            heappush(heap, (arrival, seq, event))
+            if len(heap) > sim.peak_pending:
+                sim.peak_pending = len(heap)
+            self.head_event = event
+        else:
+            self.head_event = None
+        self.deliver(pkt)
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+
 class Network:
     """The assembled fabric."""
 
@@ -84,6 +159,7 @@ class Network:
         self._base_delay_cache: Dict[Tuple[int, int], float] = {}
         # Control-path accounting (bytes that bypassed the queued fabric).
         self.control_pkts = 0
+        self._control_pipes: Dict[Tuple[int, int], ControlPipe] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -188,13 +264,26 @@ class Network:
         """Round-trip base delay between two hosts."""
         return self.base_delay(src_host, dst_host) + self.base_delay(dst_host, src_host)
 
+    def control_pipe(self, src: int, dst: int) -> ControlPipe:
+        """The (lazily created) ideal-path FIFO from ``src`` to ``dst``.
+
+        Endpoints with a fixed reverse path (the window receiver's ACK
+        stream) cache the pipe and the pair's base delay to skip the
+        per-packet lookups in :meth:`send_control`.
+        """
+        key = (src, dst)
+        pipe = self._control_pipes.get(key)
+        if pipe is None:
+            pipe = ControlPipe(self.sim, self.hosts[dst].receive_control)
+            self._control_pipes[key] = pipe
+        return pipe
+
     def send_control(self, pkt: Packet) -> None:
         """Deliver a control packet over the ideal (unqueued) reverse path."""
         self.control_pkts += 1
-        src = self.hosts[pkt.src]
-        src.ops_sent += 1
-        delay = self.base_delay(pkt.src, pkt.dst)
-        self.sim.schedule(delay, self.hosts[pkt.dst].receive_control, pkt)
+        self.hosts[pkt.src].ops_sent += 1
+        pipe = self.control_pipe(pkt.src, pkt.dst)
+        pipe.send(self.base_delay(pkt.src, pkt.dst), pkt)
 
     # -- flow endpoint wiring ---------------------------------------------
 
@@ -247,3 +336,12 @@ class Network:
 
     def total_marked(self) -> int:
         return sum(port.mux.stats.marked for port in self.ports)
+
+    def total_in_flight(self) -> int:
+        """Packets currently propagating on any wire in the fabric.
+
+        Reads the wire deques directly (the authoritative in-flight
+        record under the pipelined wire model); the invariant auditor
+        holds this equal to the transmitted-minus-arrived residual.
+        """
+        return sum(len(port.wire) for port in self.ports)

@@ -150,14 +150,15 @@ def make_ack(
     The ACK echoes the data packet's CE mark (ECN-Echo) and its ``sent_at``
     timestamp so the sender can measure RTT.
     """
+    # positional construction — this runs once per delivered data packet
     ack = Packet(
-        flow_id=data_pkt.flow_id,
-        src=data_pkt.dst,
-        dst=data_pkt.src,
-        seq=data_pkt.seq,
-        size=size,
-        kind=ACK,
-        priority=data_pkt.priority if priority is None else priority,
+        data_pkt.flow_id,
+        data_pkt.dst,
+        data_pkt.src,
+        data_pkt.seq,
+        size,
+        ACK,
+        data_pkt.priority if priority is None else priority,
     )
     ack.ack_seq = ack_seq
     ack.ecn_ce = data_pkt.ecn_ce

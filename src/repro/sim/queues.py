@@ -114,6 +114,7 @@ class PriorityMux:
         "trim_threshold_bytes",
         "selective_drop_threshold", "lp_buffer_cap", "dt_alphas",
         "queues", "occupancy", "queue_occupancy", "lp_occupancy",
+        "hp_occupancy", "nonempty_mask", "pkt_count",
         "stats", "drop_hook", "mark_hook", "trim_hook",
     )
 
@@ -157,6 +158,15 @@ class PriorityMux:
         self.occupancy = 0
         self.queue_occupancy = [0] * NUM_PRIORITIES
         self.lp_occupancy = 0
+        # Incremental ledgers mirroring derivable state so the hot path
+        # never recomputes it: high-priority (P0-3) bytes for the
+        # paper-mode ECN comparison, a bitmask of non-empty queues for
+        # O(1) strict-priority dequeue, and the total packet count.
+        # All integer arithmetic — exact by construction; audit_mux in
+        # repro.validate asserts agreement with the recomputed sums.
+        self.hp_occupancy = 0
+        self.nonempty_mask = 0
+        self.pkt_count = 0
         self.stats = QueueStats()
         # Optional per-event hooks (None = nobody listening, one branch
         # on the hot path).  Attach via add_*_hook, which *chains*
@@ -192,6 +202,7 @@ class PriorityMux:
         """
         stats = self.stats
         arrival_size = pkt.size
+        occupancy = self.occupancy
         stats.offered += 1
         stats.bytes_offered += arrival_size
         trimmed = False
@@ -199,7 +210,7 @@ class PriorityMux:
         if (
             self.selective_drop_threshold is not None
             and pkt.unscheduled
-            and self.occupancy > self.selective_drop_threshold
+            and occupancy > self.selective_drop_threshold
         ):
             self._drop(pkt, arrival_size)
             return False
@@ -224,19 +235,29 @@ class PriorityMux:
             pkt.trim()
             trimmed = True
 
-        over_shared = self.occupancy + pkt.size > self.buffer_bytes
-        over_dt = (
-            pkt.kind != HEADER
-            and self.dt_alphas is not None
-            and self.queue_occupancy[pkt.priority] + pkt.size
-            > self.dt_alphas[pkt.priority] * (self.buffer_bytes - self.occupancy)
-        )
-        if over_shared or over_dt:
-            if self.trim and pkt.kind != HEADER and pkt.size > HEADER_BYTES:
+        size = pkt.size
+        priority = pkt.priority
+        buffer_bytes = self.buffer_bytes
+        queue_occupancy = self.queue_occupancy
+        # shared tail drop, then per-queue dynamic threshold (DT); the DT
+        # product is only evaluated when the cheap shared check passes
+        over = occupancy + size > buffer_bytes
+        if not over:
+            alphas = self.dt_alphas
+            over = (
+                alphas is not None
+                and pkt.kind != HEADER
+                and queue_occupancy[priority] + size
+                > alphas[priority] * (buffer_bytes - occupancy)
+            )
+        if over:
+            if self.trim and pkt.kind != HEADER and size > HEADER_BYTES:
                 # buffer exhausted: last-resort trim
                 pkt.trim()
                 trimmed = True
-                if self.occupancy + pkt.size > self.buffer_bytes:
+                size = pkt.size
+                priority = pkt.priority
+                if occupancy + size > buffer_bytes:
                     self._drop(pkt, arrival_size)
                     return False
             else:
@@ -244,18 +265,16 @@ class PriorityMux:
                 return False
 
         # ECN marking on arrival (RED with min == max == K, per Eq. 3).
-        threshold = self.ecn_thresholds[pkt.priority]
+        threshold = self.ecn_thresholds[priority]
         if threshold is not None and pkt.ecn_capable:
-            if self.ecn_mode == "paper":
-                if pkt.priority < 4:
-                    occupancy = sum(self.queue_occupancy[0:4])
-                else:
-                    occupancy = self.occupancy
-            elif self.ecn_mode == "total":
-                occupancy = self.occupancy
+            mode = self.ecn_mode
+            if mode == "paper":
+                level = self.hp_occupancy if priority < 4 else occupancy
+            elif mode == "total":
+                level = occupancy
             else:
-                occupancy = self.queue_occupancy[pkt.priority]
-            if occupancy >= threshold:
+                level = queue_occupancy[priority]
+            if level >= threshold:
                 pkt.ecn_ce = True
                 stats.marked += 1
                 if self.mark_hook is not None:
@@ -264,16 +283,20 @@ class PriorityMux:
         if trimmed:
             # counted only now that the header actually survived
             stats.trimmed += 1
-            stats.bytes_trimmed += arrival_size - pkt.size
+            stats.bytes_trimmed += arrival_size - size
             if self.trim_hook is not None:
                 self.trim_hook(pkt)
-        self.queues[pkt.priority].append(pkt)
-        self.occupancy += pkt.size
-        self.queue_occupancy[pkt.priority] += pkt.size
+        self.queues[priority].append(pkt)
+        self.occupancy = occupancy + size
+        queue_occupancy[priority] += size
+        if priority < 4:
+            self.hp_occupancy += size
         if pkt.lcp:
-            self.lp_occupancy += pkt.size
+            self.lp_occupancy += size
+        self.nonempty_mask |= 1 << priority
+        self.pkt_count += 1
         stats.enqueued += 1
-        stats.bytes_enqueued += pkt.size
+        stats.bytes_enqueued += size
         return True
 
     def _drop(self, pkt: Packet, size: Optional[int] = None) -> None:
@@ -286,19 +309,25 @@ class PriorityMux:
 
     def dequeue(self) -> Optional[Packet]:
         """Pop the head of the highest-priority non-empty queue."""
-        if self.occupancy == 0:
+        mask = self.nonempty_mask
+        if not mask:
             return None
-        for priority, queue in enumerate(self.queues):
-            if queue:
-                pkt = queue.popleft()
-                self.occupancy -= pkt.size
-                self.queue_occupancy[priority] -= pkt.size
-                if pkt.lcp:
-                    self.lp_occupancy -= pkt.size
-                self.stats.dequeued += 1
-                self.stats.bytes_dequeued += pkt.size
-                return pkt
-        return None
+        # lowest set bit == highest priority with packets waiting
+        priority = (mask & -mask).bit_length() - 1
+        queue = self.queues[priority]
+        pkt = queue.popleft()
+        if not queue:
+            self.nonempty_mask = mask & (mask - 1)
+        self.occupancy -= pkt.size
+        self.queue_occupancy[priority] -= pkt.size
+        if priority < 4:
+            self.hp_occupancy -= pkt.size
+        if pkt.lcp:
+            self.lp_occupancy -= pkt.size
+        self.pkt_count -= 1
+        self.stats.dequeued += 1
+        self.stats.bytes_dequeued += pkt.size
+        return pkt
 
     def flush(self) -> int:
         """Drop every queued packet (link failure); returns the count.
@@ -313,8 +342,11 @@ class PriorityMux:
                 pkt = queue.popleft()
                 self.occupancy -= pkt.size
                 self.queue_occupancy[priority] -= pkt.size
+                if priority < 4:
+                    self.hp_occupancy -= pkt.size
                 if pkt.lcp:
                     self.lp_occupancy -= pkt.size
+                self.pkt_count -= 1
                 # a flushed packet was admitted (counted enqueued), so it
                 # is a *post-enqueue* drop — split out so the admission
                 # and occupancy ledgers both balance
@@ -322,12 +354,13 @@ class PriorityMux:
                 stats.bytes_dropped_after_enqueue += pkt.size
                 self._drop(pkt)
                 flushed += 1
+        self.nonempty_mask = 0
         return flushed
 
     # -- introspection ---------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(len(q) for q in self.queues)
+        return self.pkt_count
 
     @property
     def empty(self) -> bool:
@@ -335,6 +368,5 @@ class PriorityMux:
 
     def occupancy_split(self) -> Dict[str, int]:
         """Bytes held by the high-priority (P0-3) vs low-priority (P4-7) half."""
-        high = sum(self.queue_occupancy[0:4])
-        low = sum(self.queue_occupancy[4:8])
-        return {"high": high, "low": low}
+        return {"high": self.hp_occupancy,
+                "low": self.occupancy - self.hp_occupancy}

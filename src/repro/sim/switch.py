@@ -29,7 +29,7 @@ class Switch:
     """
 
     __slots__ = ("switch_id", "name", "table", "spray", "_spray_counter",
-                 "pkts_forwarded", "bytes_forwarded")
+                 "_ecmp_cache", "pkts_forwarded", "bytes_forwarded")
 
     def __init__(self, switch_id: int, name: str = "") -> None:
         self.switch_id = switch_id
@@ -37,6 +37,10 @@ class Switch:
         self.table: Dict[int, List[Port]] = {}
         self.spray = False
         self._spray_counter = SprayCounter()
+        # (flow_id, n_choices) -> ECMP index.  The hash is a pure
+        # function of the key, so memoizing it is exact; keying on the
+        # candidate count keeps the cache correct if routes are added.
+        self._ecmp_cache: Dict[tuple, int] = {}
         self.pkts_forwarded = 0
         self.bytes_forwarded = 0
 
@@ -56,7 +60,12 @@ class Switch:
         elif self.spray:
             port = candidates[self._spray_counter.next(len(candidates))]
         else:
-            port = candidates[ecmp_hash(pkt.flow_id, self.switch_id, len(candidates))]
+            key = (pkt.flow_id, len(candidates))
+            idx = self._ecmp_cache.get(key)
+            if idx is None:
+                idx = self._ecmp_cache[key] = ecmp_hash(
+                    pkt.flow_id, self.switch_id, key[1])
+            port = candidates[idx]
         pkt.hops += 1
         self.pkts_forwarded += 1
         self.bytes_forwarded += pkt.size
@@ -68,7 +77,19 @@ class Switch:
             pkt.int_records.append(
                 (port.mux.occupancy, port.bytes_sent, port.sim.now, port.rate_bps)
             )
-        port.send(pkt)
+        # Port.send, inlined: one forwarding decision per switch hop
+        chain = port.fault_chain
+        if chain is not None and not chain.admit(pkt):
+            port.fault_admit_drops += 1
+            port.fault_admit_drop_bytes += pkt.size
+            return
+        now = port.sim.now
+        pkt.queue_delay -= now  # finalized on dequeue
+        if not port.mux.enqueue(pkt):
+            pkt.queue_delay += now  # undo; packet is gone anyway
+            return
+        if not port.busy:
+            port._start_next()
 
     def ports(self) -> List[Port]:
         """All distinct output ports of this switch."""

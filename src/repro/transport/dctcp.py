@@ -43,6 +43,9 @@ class DctcpSender(WindowSender):
         self._win_ce = 0
         self._win_end = self.cfg.init_cwnd
         self._last_alpha_update = 0.0
+        # cwnd cap, cached as a float: config is fixed once the run is
+        # built, and cc_on_ack compares against it on every ACK
+        self._max_cwnd = float(self.cfg.max_cwnd_packets)
         # PPT hooks in
         self.on_window_update: Optional[Callable[["DctcpSender"], None]] = None
 
@@ -53,13 +56,19 @@ class DctcpSender(WindowSender):
         if ce:
             self._win_ce += 1
         # growth: slow start until first mark/loss, then +1/cwnd per ACK
-        if self.cwnd < self.ssthresh and not self.startup_done:
-            self.cwnd += 1.0
+        cwnd = self.cwnd
+        if cwnd < self.ssthresh and not self.startup_done:
+            cwnd += 1.0
         else:
-            self.cwnd += 1.0 / max(self.cwnd, 1.0)
-        self._cap_cwnd()
-        if self.startup_done and self.cwnd > self.wmax:
-            self.wmax = self.cwnd
+            cwnd += 1.0 / max(cwnd, 1.0)
+        # _cap_cwnd, inlined (once per ACK)
+        if cwnd > self._max_cwnd:
+            cwnd = self._max_cwnd
+        self.cwnd = cwnd
+        if cwnd > self.max_cwnd_seen:
+            self.max_cwnd_seen = cwnd
+        if self.startup_done and cwnd > self.wmax:
+            self.wmax = cwnd
 
         window_elapsed = self.cum >= self._win_end
         time_elapsed = self.sim.now - self._last_alpha_update > self.srtt

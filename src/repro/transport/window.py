@@ -26,7 +26,8 @@ import math
 from typing import Dict, Optional, Set
 
 from ..sim.engine import Event
-from ..sim.packet import ACK, DATA, Packet, make_ack
+from ..sim.network import Network
+from ..sim.packet import ACK, ACK_BYTES, DATA, Packet
 from .base import Flow, TransportConfig, TransportContext
 
 
@@ -35,7 +36,8 @@ class WindowReceiver:
 
     __slots__ = ("flow", "ctx", "n_packets", "delivered", "cum",
                  "_done", "data_pkts_received", "dup_pkts_received",
-                 "lp_pkts_received")
+                 "lp_pkts_received", "_net", "_ack_pipe", "_ack_delay",
+                 "_ack_host")
 
     def __init__(self, flow: Flow, ctx: TransportContext) -> None:
         self.flow = flow
@@ -47,6 +49,13 @@ class WindowReceiver:
         self.data_pkts_received = 0
         self.dup_pkts_received = 0
         self.lp_pkts_received = 0  # low-priority-loop arrivals (RC3 etc.)
+        # ACK fast path: the reverse pair (dst -> src) never changes, so
+        # the control pipe, base delay and sending host are resolved once
+        # on the first ACK instead of per packet (see acknowledge()).
+        self._net = None
+        self._ack_pipe = None
+        self._ack_delay = 0.0
+        self._ack_host = None
 
     def on_packet(self, pkt: Packet) -> None:
         if pkt.kind != DATA:
@@ -54,21 +63,55 @@ class WindowReceiver:
         self.data_pkts_received += 1
         if pkt.lcp:
             self.lp_pkts_received += 1
-        if pkt.seq in self.delivered:
+        delivered = self.delivered
+        seq = pkt.seq
+        if seq in delivered:
             self.dup_pkts_received += 1
         else:
-            self.delivered.add(pkt.seq)
-            while self.cum in self.delivered:
-                self.cum += 1
+            delivered.add(seq)
+            cum = self.cum
+            while cum in delivered:
+                cum += 1
+            self.cum = cum
         self.acknowledge(pkt)
-        if not self._done and len(self.delivered) >= self.n_packets:
+        if not self._done and len(delivered) >= self.n_packets:
             self._done = True
             self.ctx.on_complete(self.flow)
 
     def acknowledge(self, pkt: Packet) -> None:
         """Send an ACK for ``pkt``.  Overridable (PPT's 2:1 LP-ACKs)."""
-        ack = make_ack(pkt, ack_seq=self.cum)
-        self.ctx.network.send_control(ack)
+        # make_ack, inlined — keep in sync with repro.sim.packet.make_ack
+        # (this runs once per delivered data packet)
+        ack = Packet(pkt.flow_id, pkt.dst, pkt.src, pkt.seq, ACK_BYTES,
+                     ACK, pkt.priority)
+        ack.ack_seq = self.cum
+        ack.ecn_ce = pkt.ecn_ce
+        ack.lcp = pkt.lcp
+        ack.sent_at = pkt.sent_at
+        # snapshot, never alias (HPCC forward-path INT; see make_ack)
+        ack.int_records = (None if pkt.int_records is None
+                           else list(pkt.int_records))
+        ack.queue_delay = pkt.queue_delay
+        ack.hops = pkt.hops
+        # Network.send_control, inlined with the per-pair lookups cached
+        # (this runs once per delivered data packet)
+        pipe = self._ack_pipe
+        if pipe is None:
+            net = self.ctx.network
+            if ("send_control" in getattr(net, "__dict__", ())
+                    or type(net).send_control is not Network.send_control):
+                # send_control is patched (test capture seam) or
+                # overridden — honour it; never install the fast path
+                net.send_control(ack)
+                return
+            self._net = net
+            flow = self.flow
+            pipe = self._ack_pipe = net.control_pipe(flow.dst, flow.src)
+            self._ack_delay = net.base_delay(flow.dst, flow.src)
+            self._ack_host = net.hosts[flow.dst]
+        self._net.control_pkts += 1
+        self._ack_host.ops_sent += 1
+        pipe.send(self._ack_delay, ack)
 
     @property
     def done(self) -> bool:
@@ -150,6 +193,25 @@ class WindowSender:
         if flow.first_syscall_bytes is None:
             flow.first_syscall_bytes = min(flow.size, self.cfg.send_buffer_bytes)
 
+        # hot-path caches: the per-packet payload split is a config
+        # constant, and the claimed_elsewhere hook only matters when a
+        # subclass actually overrides it (LCP's shadow loop)
+        self._payload = payload
+        self._size_pad = self.cfg.mss - payload
+        # RTO parameters are construction-time constants of the config;
+        # _arm_rto runs once per ACK and per send, so it reads these
+        # caches instead of chasing cfg attributes
+        self._min_rto = self.cfg.min_rto
+        self._rto_cap = max(self.cfg.max_rto, self.cfg.min_rto)
+        self._rto_backoff = self.cfg.rto_backoff
+        cls = type(self)
+        self._has_claims = (cls.claimed_elsewhere
+                            is not WindowSender.claimed_elsewhere)
+        # build_packet hook dispatch, resolved once: schemes that keep
+        # the default P0 / ECN-on hooks skip two frames per data packet
+        self._default_priority = cls.priority_for is WindowSender.priority_for
+        self._default_ecn = cls.ecn_capable is WindowSender.ecn_capable
+
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> None:
@@ -172,8 +234,12 @@ class WindowSender:
         ptr = self.send_ptr
         delivered = self.delivered
         outstanding = self.outstanding
+        # ``_has_claims`` short-circuits the hook call when no subclass
+        # overrides claimed_elsewhere — one bool load instead of a frame
+        # per probed seq on the default path.
+        claims = self._has_claims
         while ptr < end and (ptr in delivered or ptr in outstanding or
-                             self.claimed_elsewhere(ptr)):
+                             (claims and self.claimed_elsewhere(ptr))):
             ptr += 1
         self.send_ptr = ptr
         return ptr if ptr < end else None
@@ -185,12 +251,26 @@ class WindowSender:
     def try_send(self) -> None:
         """Transmit while the window allows and data remains."""
         audit = self.audit
-        pre_burst = len(self.outstanding) if audit is not None else 0
-        while not self.finished and len(self.outstanding) < self.cwnd:
-            seq = self._next_new_seq()
-            if seq is None:
-                break
-            self.transmit(seq)
+        outstanding = self.outstanding
+        pre_burst = len(outstanding) if audit is not None else 0
+        # cwnd/finished cannot change inside the loop (transmit() never
+        # runs congestion hooks; delivery is asynchronous), so they are
+        # hoisted out of the loop condition, and _next_new_seq is
+        # inlined — one probe loop instead of a frame per window slot
+        cwnd = self.cwnd
+        if not self.finished:
+            delivered = self.delivered
+            claims = self._has_claims
+            while len(outstanding) < cwnd:
+                end = self.buffer_end()
+                ptr = self.send_ptr
+                while ptr < end and (ptr in delivered or ptr in outstanding or
+                                     (claims and self.claimed_elsewhere(ptr))):
+                    ptr += 1
+                self.send_ptr = ptr
+                if ptr >= end:
+                    break
+                self.transmit(ptr)
         if audit is not None:
             audit.on_send_burst(self, pre_burst)
 
@@ -199,12 +279,14 @@ class WindowSender:
         # retransmission, whether or not the caller knew: after an RTO
         # the presumed-lost window is re-sent via the ordinary try_send
         # path, and that recovery work must show up in the counters.
-        retransmit = retransmit or seq in self._ever_sent
-        self._ever_sent.add(seq)
+        ever_sent = self._ever_sent
+        retransmit = retransmit or seq in ever_sent
+        ever_sent.add(seq)
         pkt = self.build_packet(seq)
+        now = self.sim.now
         pkt.retransmit = retransmit
-        pkt.sent_at = self.sim.now
-        self.outstanding[seq] = self.sim.now
+        pkt.sent_at = now
+        self.outstanding[seq] = now
         self.pkts_transmitted += 1
         if retransmit:
             self._rtx_seqs.add(seq)
@@ -215,20 +297,25 @@ class WindowSender:
         self._arm_rto()
 
     def build_packet(self, seq: int) -> Packet:
-        payload = self.cfg.payload_per_packet()
-        remaining = self.flow.size - seq * payload
-        size = min(self.cfg.mss, max(1, remaining) + (self.cfg.mss - payload))
-        pkt = Packet(
-            flow_id=self.flow.flow_id,
-            src=self.flow.src,
-            dst=self.flow.dst,
-            seq=seq,
-            size=size,
-            kind=DATA,
-            priority=self.priority_for(seq),
-            ecn_capable=self.ecn_capable(),
+        payload = self._payload
+        flow = self.flow
+        mss = self.cfg.mss
+        remaining = flow.size - seq * payload
+        size = remaining + self._size_pad
+        if remaining < 1:
+            size = 1 + self._size_pad
+        if size > mss:
+            size = mss
+        return Packet(
+            flow.flow_id,
+            flow.src,
+            flow.dst,
+            seq,
+            size,
+            DATA,
+            0 if self._default_priority else self.priority_for(seq),
+            True if self._default_ecn else self.ecn_capable(),
         )
-        return pkt
 
     # -- scheme hooks -------------------------------------------------------
 
@@ -272,9 +359,11 @@ class WindowSender:
     def handle_ack(self, pkt: Packet) -> None:
         self.acks_received += 1
         seq = pkt.seq
-        newly = seq not in self.delivered
-        self.delivered.add(seq)
-        self.outstanding.pop(seq, None)
+        delivered = self.delivered
+        outstanding = self.outstanding
+        newly = seq not in delivered
+        delivered.add(seq)
+        outstanding.pop(seq, None)
 
         rtt = self.sim.now - pkt.sent_at
         if rtt > 0 and seq not in self._rtx_seqs:
@@ -287,8 +376,8 @@ class WindowSender:
         new_cum = pkt.ack_seq
         if new_cum > self.cum:
             for s in range(self.cum, new_cum):
-                self.delivered.add(s)
-                self.outstanding.pop(s, None)
+                delivered.add(s)
+                outstanding.pop(s, None)
             self.cum = new_cum
             self.dup_acks = 0
         elif seq > self.cum:
@@ -300,7 +389,7 @@ class WindowSender:
             self.rto_backoff_exp = 0  # forward progress: reset backoff
             self.cc_on_ack(pkt.ecn_ce, rtt)
 
-        if len(self.delivered) >= self.n_packets:
+        if len(delivered) >= self.n_packets:
             self.stop()
             return
         self._arm_rto()
@@ -368,7 +457,18 @@ class WindowSender:
         """
         if self.finished:
             return
-        deadline = self.sim.now + self.rto_interval()
+        # rto_interval(), inlined with branches for min/max — this runs
+        # once per ACK and once per transmission
+        cap = self._rto_cap
+        interval = 2.0 * self.srtt
+        if interval < self._min_rto:
+            interval = self._min_rto
+        if interval > cap:
+            interval = cap
+        exp = self.rto_backoff_exp
+        if exp:
+            interval = min(interval * self._rto_backoff ** exp, cap)
+        deadline = self.sim.now + interval
         self._rto_deadline = deadline
         event = self._rto_event
         if event is not None and not event.cancelled and event.time <= deadline:

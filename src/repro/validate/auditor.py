@@ -82,6 +82,29 @@ def audit_mux(mux: PriorityMux) -> List[Tuple[str, str, dict]]:
             "mux-lp-occupancy",
             "lp_occupancy ledger disagrees with queued LP packets",
             {"lp_occupancy": mux.lp_occupancy, "lp_bytes": lp_bytes}))
+    # The hot-path incremental ledgers (ISSUE 5) are pure mirrors of
+    # derivable state; any divergence means an enqueue/dequeue/flush
+    # path forgot to maintain one of them.
+    if mux.hp_occupancy != sum(per_queue_bytes[0:4]):
+        problems.append((
+            "mux-hp-occupancy",
+            "hp_occupancy ledger disagrees with queued P0-3 packets",
+            {"hp_occupancy": mux.hp_occupancy,
+             "actual": sum(per_queue_bytes[0:4])}))
+    actual_mask = 0
+    for priority, queue in enumerate(mux.queues):
+        if queue:
+            actual_mask |= 1 << priority
+    if mux.nonempty_mask != actual_mask:
+        problems.append((
+            "mux-nonempty-mask",
+            "non-empty-queue bitmask disagrees with actual queues",
+            {"nonempty_mask": mux.nonempty_mask, "actual": actual_mask}))
+    if mux.pkt_count != still_queued:
+        problems.append((
+            "mux-pkt-count",
+            "pkt_count ledger disagrees with queued packets",
+            {"pkt_count": mux.pkt_count, "actual": still_queued}))
     if mux.occupancy > mux.buffer_bytes:
         problems.append((
             "mux-buffer-cap",
@@ -325,10 +348,11 @@ class RunAuditor:
 
     def _audit_fabric_conservation(self) -> None:
         """End-to-end conservation over the whole fabric (packet and
-        byte ledgers).  Everything is an exact equality except the
-        in-propagation residual, which is only bounded while the heap is
-        warm (packets on the wire are events, not counters) and must be
-        exactly zero once the heap empties."""
+        byte ledgers).  Every law is an exact equality: since the
+        pipelined wire model, each port's in-flight packets live in its
+        wire deque, so the in-propagation residual must equal the deque
+        contents packet-for-packet and byte-for-byte (the historical
+        check could only bound it by the heap size)."""
         net = self.network
         ports = net.ports
         hosts = net.hosts.values()
@@ -357,32 +381,44 @@ class RunAuditor:
                     port_offer_bytes=bytes_offered,
                     fault_admit_drop_bytes=admit_killed_bytes)
 
-        live, _min_live = self.sim.audit_heap()
         sent = sum(p.pkts_sent for p in ports)
         wire_killed = sum(p.fault_wire_drops for p in ports)
         arrivals = forwarded + sum(h.pkts_from_fabric for h in hosts)
         in_propagation = sent - wire_killed - arrivals
-        ok = 0 <= in_propagation <= live and (live > 0 or in_propagation == 0)
-        self._check(ok, "fabric-packet-conservation", "fabric",
-                    "transmitted packets not accounted for by arrivals, "
-                    "wire losses and in-propagation residue",
+        on_wire = sum(len(p.wire) for p in ports)
+        self._check(in_propagation == on_wire,
+                    "fabric-packet-conservation", "fabric",
+                    "in-propagation residual disagrees with the wire deques",
                     pkts_sent=sent, fault_wire_drops=wire_killed,
                     arrivals=arrivals, in_propagation=in_propagation,
-                    live_pending=live)
+                    on_wire=on_wire)
 
         sent_bytes = sum(p.bytes_sent for p in ports)
         wire_killed_bytes = sum(p.fault_wire_drop_bytes for p in ports)
         arrival_bytes = forwarded_bytes + sum(h.bytes_from_fabric
                                               for h in hosts)
         in_prop_bytes = sent_bytes - wire_killed_bytes - arrival_bytes
-        ok = in_prop_bytes >= 0 and (live > 0 or in_prop_bytes == 0)
-        self._check(ok, "fabric-byte-conservation", "fabric",
-                    "transmitted bytes not accounted for by arrivals, "
-                    "wire losses and in-propagation residue",
+        on_wire_bytes = sum(p.wire.in_flight_bytes for p in ports)
+        self._check(in_prop_bytes == on_wire_bytes,
+                    "fabric-byte-conservation", "fabric",
+                    "in-propagation byte residual disagrees with the "
+                    "wire deques",
                     bytes_sent=sent_bytes,
                     fault_wire_drop_bytes=wire_killed_bytes,
                     arrival_bytes=arrival_bytes,
-                    in_propagation_bytes=in_prop_bytes)
+                    in_propagation_bytes=in_prop_bytes,
+                    on_wire_bytes=on_wire_bytes)
+
+    def _audit_live_counter(self) -> None:
+        """The engine's incremental live-event counter must agree with a
+        full heap scan.  O(heap), so only run once per audit (finalize),
+        not per slice — the per-slice checks read the counter itself."""
+        sim = self.sim
+        scanned = sum(1 for _t, _s, event in sim._heap if not event.cancelled)
+        self._check(sim.live_pending == scanned,
+                    "engine-live-counter", "engine",
+                    "incremental live-event counter disagrees with heap scan",
+                    live_pending=sim.live_pending, scanned=scanned)
 
     def finalize(self, flows=None) -> ValidationReport:
         """Drain-end harvest: one last slice check, then the transport
@@ -391,6 +427,7 @@ class RunAuditor:
             return self.report
         self._finalized = True
         self.on_slice()
+        self._audit_live_counter()
         for sender in self._endpoints(WindowSender):
             self._audit_sender(sender)
         for receiver in self._endpoints(WindowReceiver):

@@ -228,3 +228,156 @@ def test_cancelling_any_subset_fires_exactly_the_rest(delays, data):
         events[idx].cancel()
     executed = sim.run()
     assert executed == len(events) - len(to_cancel)
+
+
+# -- event free-list -------------------------------------------------------
+
+
+def test_recycled_event_object_is_reused():
+    """A fired recycle-mode event returns to the pool and is handed out
+    by the next schedule call."""
+    sim = Simulator()
+    fired = []
+    first = sim.schedule_recycled(1e-3, fired.append, 1)
+    sim.run()
+    second = sim.schedule(1e-3, fired.append, 2)
+    assert second is first
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_plain_schedule_events_are_not_pooled():
+    """Callers of plain schedule() may keep the handle forever, so those
+    events must never be recycled out from under them."""
+    sim = Simulator()
+    first = sim.schedule(1e-3, lambda: None)
+    sim.run()
+    second = sim.schedule(1e-3, lambda: None)
+    assert second is not first
+
+
+def test_cancelled_recycled_event_is_not_pooled():
+    """Cancelled events never enter the pool: the canceller may still
+    hold the reference."""
+    sim = Simulator()
+    first = sim.schedule_recycled(1e-3, lambda: None)
+    first.cancel()
+    sim.run()
+    second = sim.schedule(1e-3, lambda: None)
+    assert second is not first
+
+
+def test_cancel_after_fire_is_noop_for_live_counter():
+    """The run loop marks fired events, so a late cancel() on a handle
+    the caller kept must not decrement the live counter."""
+    sim = Simulator()
+    event = sim.schedule(1e-3, lambda: None)
+    sim.schedule(2e-3, lambda: None)
+    sim.run(until=1.5e-3)
+    assert sim.live_pending == 1
+    event.cancel()
+    event.cancel()
+    assert sim.live_pending == 1
+    live, min_live = sim.audit_heap()
+    assert live == 1
+    assert min_live == 2e-3
+
+
+# -- pure peek / explicit compaction ---------------------------------------
+
+
+def test_peek_time_does_not_mutate_heap():
+    """peek_time() is a pure read even when the head is a corpse;
+    compact() is the explicit way to drop cancelled heads."""
+    sim = Simulator()
+    head = sim.schedule(1e-3, lambda: None)
+    sim.schedule(2e-3, lambda: None)
+    head.cancel()
+    entries_before = sim.pending
+    assert sim.peek_time() == 2e-3
+    assert sim.pending == entries_before        # nothing popped
+    assert sim.compact() == 1                   # explicit corpse removal
+    assert sim.pending == entries_before - 1
+    assert sim.peek_time() == 2e-3
+
+
+def test_compact_on_clean_heap_is_noop():
+    sim = Simulator()
+    sim.schedule(1e-3, lambda: None)
+    assert sim.compact() == 0
+    assert sim.pending == 1
+
+
+def test_peak_pending_high_water_mark():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule((i + 1) * 1e-3, lambda: None)
+    assert sim.peak_pending == 5
+    sim.run()
+    assert sim.pending == 0
+    assert sim.peak_pending == 5
+
+
+# -- reserved seqs and event chains ----------------------------------------
+
+
+def test_reserved_seq_keeps_tie_break_position():
+    """An event inserted late with a reserved seq fires in the position
+    the reservation claimed, not its insertion time."""
+    sim = Simulator()
+    fired = []
+    seq = sim.reserve_seq()                       # claims first place
+    sim.schedule(1e-3, fired.append, "second")    # same fire time
+    sim.schedule_reserved(1e-3, seq, fired.append, "first")
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_event_chain_is_one_heap_entry_and_fires_in_order():
+    sim = Simulator()
+    fired = []
+    chain = sim.schedule_chain([
+        (3e-3, fired.append, ("c",)),
+        (1e-3, fired.append, ("a",)),
+        (2e-3, fired.append, ("b",)),
+    ])
+    assert sim.pending == 1                       # N entries, 1 in heap
+    assert len(chain) == 3
+    sim.run(until=1.5e-3)
+    assert fired == ["a"]
+    assert sim.pending == 1                       # successor armed
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert len(chain) == 0
+
+
+def test_event_chain_matches_individual_schedules():
+    """Chained and individually scheduled events interleave identically
+    with a same-instant competitor (seqs claimed in declaration order)."""
+
+    def fire_order(use_chain):
+        sim = Simulator()
+        fired = []
+        if use_chain:
+            sim.schedule_chain([(1e-3, fired.append, ("x",))])
+        else:
+            sim.schedule_at(1e-3, fired.append, "x")
+        sim.schedule_at(1e-3, fired.append, "y")
+        sim.run()
+        return fired
+
+    assert fire_order(True) == fire_order(False) == ["x", "y"]
+
+
+def test_event_chain_cancel_stops_remaining():
+    sim = Simulator()
+    fired = []
+    chain = sim.schedule_chain([
+        (1e-3, fired.append, ("a",)),
+        (2e-3, fired.append, ("b",)),
+    ])
+    sim.run(until=1.5e-3)
+    chain.cancel()
+    sim.run()
+    assert fired == ["a"]
+    assert sim.live_pending == 0

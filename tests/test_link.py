@@ -97,3 +97,83 @@ def test_backlog_bytes():
     port.send(pkt(0))
     port.send(pkt(1))
     assert port.backlog_bytes == 1500  # one on the wire, one queued
+
+
+# -- pipelined wire --------------------------------------------------------
+
+
+def test_wire_holds_inflight_with_single_head_event():
+    """However many packets are propagating, the heap carries exactly one
+    arrival event for the link (plus the serialization event)."""
+    sim = Simulator()
+    # slow down propagation so several serializations complete while the
+    # first packet is still on the wire
+    port, sink = make_port(sim, prop=us(500))
+    for i in range(4):
+        port.send(pkt(seq=i))
+    # drain serialization only: all four are on the wire before the
+    # first arrival at 500+ us
+    ser = serialization_delay(1500, gbps(10))
+    sim.run(until=4 * ser + 1e-9)
+    assert len(port.wire) == 4
+    assert port.wire.head_event is not None
+    live, _ = sim.audit_heap()
+    assert live == 1                       # ONE head-arrival event only
+    sim.run()
+    assert [p.seq for p in sink.received] == [0, 1, 2, 3]
+    assert len(port.wire) == 0
+    assert port.wire.head_event is None
+
+
+def test_wire_fifo_even_when_priorities_reorder_the_mux():
+    """Strict priority reorders *serialization*; the wire itself is FIFO
+    in departure order."""
+    sim = Simulator()
+    port, sink = make_port(sim, prop=us(500))
+    port.send(pkt(seq=0, priority=7))     # heads straight to the wire
+    port.send(pkt(seq=1, priority=7))     # queued low
+    port.send(pkt(seq=2, priority=0))     # overtakes seq=1 in the mux
+    sim.run()
+    assert [p.seq for p in sink.received] == [0, 2, 1]
+
+
+def test_flush_wire_books_fault_losses():
+    sim = Simulator()
+    port, sink = make_port(sim, prop=us(500))
+    for i in range(3):
+        port.send(pkt(seq=i))
+    ser = serialization_delay(1500, gbps(10))
+    sim.run(until=3 * ser + 1e-9)
+    assert len(port.wire) == 3
+    flushed = port.flush_wire()
+    assert flushed == 3
+    assert port.fault_wire_drops == 3
+    assert port.fault_wire_drop_bytes == 3 * 1500
+    assert len(port.wire) == 0
+    sim.run()
+    assert sink.received == []            # nothing survives the flush
+    assert sim.live_pending == 0          # head event cancelled
+
+
+def test_legacy_wire_mode_schedules_per_packet():
+    sim = Simulator()
+    port, sink = make_port(sim, prop=us(500))
+    port.wire.pipelined = False
+    for i in range(3):
+        port.send(pkt(seq=i))
+    ser = serialization_delay(1500, gbps(10))
+    sim.run(until=3 * ser + 1e-9)
+    assert len(port.wire) == 3
+    live, _ = sim.audit_heap()
+    assert live == 3                      # one arrival event per packet
+    sim.run()
+    assert [p.seq for p in sink.received] == [0, 1, 2]
+
+
+def test_rate_setter_refreshes_byte_time():
+    sim = Simulator()
+    port, _sink = make_port(sim, rate=gbps(10))
+    assert port.byte_time == 8.0 / gbps(10)
+    port.rate_bps = gbps(40)
+    assert port.rate_bps == gbps(40)
+    assert port.byte_time == 8.0 / gbps(40)

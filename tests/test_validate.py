@@ -268,3 +268,51 @@ def test_audit_mux_flags_cooked_ledger():
     mux.queue_occupancy[0] -= 100  # simulate a lost accounting update
     laws = {law for law, _, _ in audit_mux(mux)}
     assert "mux-queue-occupancy" in laws
+
+
+def test_audit_mux_flags_cooked_incremental_ledgers():
+    """The ISSUE-5 hot-path ledgers (hp_occupancy, nonempty_mask,
+    pkt_count) are pure mirrors; audit_mux must flag each one when it
+    drifts from the scanned truth."""
+    mux = PriorityMux(10_000)
+    assert mux.enqueue(Packet(flow_id=1, src=0, dst=1, seq=0, size=1500,
+                              kind=DATA, priority=0))
+    mux.hp_occupancy += 64
+    mux.nonempty_mask |= 1 << 7
+    mux.pkt_count += 1
+    laws = {law for law, _, _ in audit_mux(mux)}
+    assert "mux-hp-occupancy" in laws
+    assert "mux-nonempty-mask" in laws
+    assert "mux-pkt-count" in laws
+
+
+def test_cooked_wire_ledger_breaks_fabric_conservation():
+    """Claiming a phantom transmission makes the in-propagation residual
+    disagree with the wire deques at drain end."""
+
+    def cook_port(topo):
+        topo.network.ports[0].pkts_sent += 1
+        topo.network.ports[0].bytes_sent += 1500
+        return None
+
+    result = run(Dctcp(), small_scenario(n_flows=4), validate=True,
+                 instruments=cook_port)
+    report = result.validation
+    assert not report.ok
+    assert "fabric-packet-conservation" in report.counts
+    assert "fabric-byte-conservation" in report.counts
+
+
+def test_cooked_live_counter_detected():
+    """The engine's incremental live-event counter is cross-checked
+    against a full heap scan at finalize."""
+
+    def cook_live(topo):
+        topo.sim._live += 1
+        return None
+
+    result = run(Dctcp(), small_scenario(n_flows=4), validate=True,
+                 instruments=cook_live)
+    report = result.validation
+    assert not report.ok
+    assert "engine-live-counter" in report.counts
