@@ -20,10 +20,11 @@ judged against (ROADMAP: "as fast as the hardware allows").  Probes:
 
 Every invocation writes the rows to ``BENCH_core_engine.json`` at the
 repo root (override with ``BENCH_CORE_ENGINE_OUT``) so the trajectory
-accumulates in version control / CI artifacts.  The assertion is
-deliberately loose (events/sec > 0): wall-clock varies across machines,
-so the JSON carries the number — compare it across commits, don't gate
-on it.
+accumulates in version control / CI artifacts.  The in-test assertion
+is deliberately loose (events/sec > 0) because wall-clock varies across
+machines; the regression gate lives in ``benchmarks/perf_ratchet.py``,
+which CI runs against the checked-in baseline with a 25% noise
+allowance.
 """
 
 import json

@@ -1,0 +1,67 @@
+"""Perf ratchet: fail when engine throughput regresses past the budget.
+
+Compares a freshly measured ``BENCH_core_engine.json`` against the
+checked-in baseline at the repo root and exits non-zero when the gated
+probe's events/sec falls below ``threshold`` times the baseline.  The
+default gate is ``dctcp-incast`` at 0.75x — the full-datapath number
+that bounds experiment wall time, with a 25% allowance for runner
+noise (the checked-in baseline and CI run on different hardware, so
+the gate catches structural regressions, not jitter).
+
+Usage (what CI runs)::
+
+    python benchmarks/perf_ratchet.py \
+        --baseline BENCH_core_engine.json \
+        --fresh bench-out/BENCH_core_engine.json
+
+Raising the checked-in baseline after an optimisation lands tightens
+the ratchet for every commit after it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rows_by_bench(path):
+    with open(path) as fh:
+        payload = json.load(fh)
+    return {row["bench"]: row for row in payload["rows"]}
+
+
+def check(baseline_path, fresh_path, bench="dctcp-incast", threshold=0.75):
+    """Returns (ok, message) comparing one probe across the two files."""
+    baseline = rows_by_bench(baseline_path)
+    fresh = rows_by_bench(fresh_path)
+    if bench not in baseline:
+        return False, f"baseline {baseline_path} has no {bench!r} row"
+    if bench not in fresh:
+        return False, f"fresh results {fresh_path} have no {bench!r} row"
+    base_eps = baseline[bench]["events_per_sec"]
+    fresh_eps = fresh[bench]["events_per_sec"]
+    floor = threshold * base_eps
+    ratio = fresh_eps / base_eps if base_eps else float("inf")
+    message = (f"{bench}: fresh {fresh_eps:,.0f} ev/s vs baseline "
+               f"{base_eps:,.0f} ev/s ({ratio:.2f}x, floor {threshold:.2f}x)")
+    return fresh_eps >= floor, message
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_core_engine.json",
+                        help="checked-in baseline JSON (repo root)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly measured JSON to gate")
+    parser.add_argument("--bench", default="dctcp-incast",
+                        help="which probe row to gate on")
+    parser.add_argument("--threshold", type=float, default=0.75,
+                        help="minimum fresh/baseline events-per-sec ratio")
+    args = parser.parse_args(argv)
+    ok, message = check(args.baseline, args.fresh,
+                        bench=args.bench, threshold=args.threshold)
+    print(("OK      " if ok else "REGRESSED ") + message)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,13 +38,15 @@ from .core.ppt_hpcc import PptHpcc
 from .core.ppt_swift import PptSwift
 from .experiments import figures, tables
 from .faults import FaultPlan
-from .experiments.parallel import GridTask, RunSummary, run_grid
+from .experiments.parallel import GridTask, GridTaskError, RunSummary, run_grid
 from .experiments.runner import format_table, run
 from .experiments.scenarios import (
     HOMA_RTT_BYTES_SIM,
     all_to_all_scenario,
     incast_scenario,
+    soak_scenario,
 )
+from .resilience import CheckpointError, supervise_grid
 from .transport.aeolus import Aeolus
 from .transport.d2tcp import D2tcp
 from .transport.dcqcn import Dcqcn
@@ -151,8 +153,74 @@ def _trace_out_path(template: str, scheme: str, multi: bool) -> str:
     return f"{template}.{scheme}"
 
 
+def _summary_rows(schemes, summaries, *, faults, health_flag):
+    rows = []
+    for name, summary in zip(schemes, summaries):
+        if summary is None:
+            rows.append({"scheme": name, "flows": "FAILED"})
+            continue
+        stats = summary.stats
+        row = {
+            "scheme": name,
+            "flows": f"{summary.completed}/{summary.n_flows}",
+            "overall_avg_ms": stats.overall_avg * 1e3,
+            "small_avg_ms": stats.small_avg * 1e3,
+            "small_p99_ms": stats.small_p99 * 1e3,
+            "large_avg_ms": stats.large_avg * 1e3,
+        }
+        if faults is not None or health_flag:
+            row["rtx"] = summary.health.retransmits_total
+            row["rtos"] = summary.health.rtos_total
+            row["health"] = _health_label(summary.health)
+        rows.append(row)
+        print(f"done: {name} ({summary.health.summary()})", file=sys.stderr)
+        if summary.health.stalled:
+            print(f"  stall: {summary.health.stall_reason}", file=sys.stderr)
+        if summary.telemetry is not None:
+            print(f"  trace: {summary.telemetry.describe()}", file=sys.stderr)
+    return rows
+
+
+def _report_validation(schemes, summaries) -> bool:
+    broken = False
+    for name, summary in zip(schemes, summaries):
+        report = summary.validation if summary is not None else None
+        if report is None:
+            continue
+        print(f"validate: {name}: {report.describe()}", file=sys.stderr)
+        if not report.ok:
+            broken = True
+            for violation in report.violations[:10]:
+                print(f"  {violation.describe()}", file=sys.stderr)
+    return broken
+
+
+def _cmd_resume(args) -> int:
+    """``--resume``: finish a checkpointed run, bit-identical to one
+    that never stopped."""
+    try:
+        result = run(resume=args.resume,
+                     checkpoint_every=args.checkpoint_every,
+                     checkpoint_path=args.checkpoint or args.resume)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 3
+    summary = RunSummary.from_result(result)
+    schemes = [result.scheme_name]
+    rows = _summary_rows(schemes, [summary], faults=None,
+                         health_flag=args.health)
+    broken = _report_validation(schemes, [summary])
+    print(format_table(rows))
+    return 1 if broken else 0
+
+
 def _cmd_run(args) -> int:
     cdf = WORKLOADS[args.workload]
+    if args.resume:
+        return _cmd_resume(args)
     observe = bool(args.trace or args.trace_out)
     validate = False
     if args.validate_strict:
@@ -165,6 +233,16 @@ def _cmd_run(args) -> int:
         # in-process serial path
         print("error: --trace-out requires --jobs 1", file=sys.stderr)
         return 2
+    if args.checkpoint and (args.jobs not in (None, 0, 1)
+                            or len(args.schemes) != 1):
+        # one checkpoint file describes one run
+        print("error: --checkpoint requires --jobs 1 and a single scheme",
+              file=sys.stderr)
+        return 2
+    if args.checkpoint and args.checkpoint_every is None:
+        print("error: --checkpoint needs --checkpoint-every SIM_SECONDS",
+              file=sys.stderr)
+        return 2
     faults = None
     if args.fault:
         try:
@@ -173,6 +251,10 @@ def _cmd_run(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     def make_scenario():
+        if args.soak is not None:
+            return soak_scenario(
+                "cli-soak", cdf, horizon=args.soak, seed=args.seed,
+                faults=faults, event_budget=args.event_budget)
         if args.pattern == "incast":
             return incast_scenario(
                 "cli", cdf, n_senders=args.incast_senders, load=args.load,
@@ -183,68 +265,69 @@ def _cmd_run(args) -> int:
             size_cap=args.size_cap, seed=args.seed,
             faults=faults, event_budget=args.event_budget)
 
+    supervised = args.task_timeout is not None or args.retries is not None
+    failed_cells = []
     try:
-        if args.trace_out:
+        if args.trace_out or args.checkpoint:
             # serial, in-process: keep the full Telemetry so the event
-            # trace can be exported
+            # trace can be exported / write checkpoints from the drain
             summaries = []
             multi = len(args.schemes) > 1
             for name in args.schemes:
                 result = run(SCHEME_FACTORIES[name](), make_scenario(),
-                             observe=True, validate=validate)
+                             observe=observe or bool(args.trace_out),
+                             validate=validate,
+                             checkpoint_every=args.checkpoint_every,
+                             checkpoint_path=args.checkpoint)
                 summary = RunSummary.from_result(result)
                 summary.scheme = name
                 summaries.append(summary)
-                path = _trace_out_path(args.trace_out, name, multi)
-                written = result.telemetry.export_jsonl(path)
-                print(f"trace: {name}: {written} events -> {path}",
-                      file=sys.stderr)
+                if args.trace_out:
+                    path = _trace_out_path(args.trace_out, name, multi)
+                    written = result.telemetry.export_jsonl(path)
+                    print(f"trace: {name}: {written} events -> {path}",
+                          file=sys.stderr)
         else:
             tasks = [GridTask(scheme_factory=SCHEME_FACTORIES[name],
                               scenario_factory=make_scenario,
                               label=name, scheme_key=name,
                               observe=observe, validate=validate)
                      for name in args.schemes]
-            summaries = run_grid(tasks, jobs=args.jobs)
+            if supervised:
+                outcome = supervise_grid(
+                    tasks, jobs=args.jobs,
+                    task_timeout=args.task_timeout,
+                    retries=args.retries if args.retries is not None else 2)
+                summaries = outcome.summaries
+                failed_cells = outcome.failed
+                for failure in failed_cells:
+                    print(f"failed: {failure.describe()}", file=sys.stderr)
+            else:
+                summaries = run_grid(tasks, jobs=args.jobs)
     except KeyError as exc:
         # bad port name/glob in a fault spec surfaces at apply time
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except InvariantViolation as exc:
         print(f"invariant violation: {exc}", file=sys.stderr)
         return 3
-    rows = []
-    for name, summary in zip(args.schemes, summaries):
-        stats = summary.stats
-        row = {
-            "scheme": name,
-            "flows": f"{summary.completed}/{summary.n_flows}",
-            "overall_avg_ms": stats.overall_avg * 1e3,
-            "small_avg_ms": stats.small_avg * 1e3,
-            "small_p99_ms": stats.small_p99 * 1e3,
-            "large_avg_ms": stats.large_avg * 1e3,
-        }
-        if faults is not None or args.health:
-            row["rtx"] = summary.health.retransmits_total
-            row["rtos"] = summary.health.rtos_total
-            row["health"] = _health_label(summary.health)
-        rows.append(row)
-        print(f"done: {name} ({summary.health.summary()})", file=sys.stderr)
-        if summary.health.stalled:
-            print(f"  stall: {summary.health.stall_reason}", file=sys.stderr)
-        if summary.telemetry is not None:
-            print(f"  trace: {summary.telemetry.describe()}", file=sys.stderr)
-    broken = False
-    for name, summary in zip(args.schemes, summaries):
-        report = summary.validation
-        if report is None:
-            continue
-        print(f"validate: {name}: {report.describe()}", file=sys.stderr)
-        if not report.ok:
-            broken = True
-            for violation in report.violations[:10]:
-                print(f"  {violation.describe()}", file=sys.stderr)
+    except GridTaskError as exc:
+        # a worker died with full context attached; strict-validate
+        # failures keep their dedicated exit code across the fork
+        if "InvariantViolation" in exc.cause:
+            print(f"invariant violation: {exc}", file=sys.stderr)
+            return 3
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = _summary_rows(args.schemes, summaries, faults=faults,
+                         health_flag=args.health)
+    broken = _report_validation(args.schemes, summaries)
     print(format_table(rows))
+    if failed_cells:
+        return 1
     return 1 if broken else 0
 
 
@@ -317,6 +400,31 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--validate-strict", action="store_true",
                        help="like --validate but abort at the first broken "
                             "invariant (exit 3)")
+    run_p.add_argument("--soak", type=float, metavar="HORIZON", default=None,
+                       help="run the long-horizon soak scenario for this "
+                            "many simulated seconds (faults fire "
+                            "periodically throughout; see docs/robustness.md)")
+    run_p.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="write periodic resumable snapshots to PATH "
+                            "(requires --jobs 1, a single scheme and "
+                            "--checkpoint-every)")
+    run_p.add_argument("--checkpoint-every", type=float,
+                       metavar="SIM_SECONDS", default=None,
+                       help="simulated seconds between checkpoint writes")
+    run_p.add_argument("--resume", metavar="PATH", default=None,
+                       help="resume a checkpointed run from PATH and finish "
+                            "it (bit-identical to a run that never stopped); "
+                            "combine with --checkpoint-every to keep "
+                            "checkpointing")
+    run_p.add_argument("--task-timeout", type=float, metavar="SECONDS",
+                       default=None,
+                       help="supervise the grid: kill and retry any cell "
+                            "whose attempt exceeds this wall-clock budget")
+    run_p.add_argument("--retries", type=int, default=None,
+                       help="supervise the grid: per-cell retry budget "
+                            "after the first attempt (default 2 when "
+                            "supervision is active); cells that exhaust it "
+                            "are quarantined, not fatal")
     run_p.set_defaults(fn=_cmd_run)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")

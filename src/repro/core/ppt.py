@@ -30,7 +30,7 @@ from __future__ import annotations
 from ..sim.packet import ACK, DATA, Packet, make_ack
 from ..transport.base import Flow, Scheme, TransportContext
 from ..transport.dctcp import DctcpSender
-from ..transport.window import WindowReceiver
+from ..transport.window import WindowReceiver, _DeliveredAll
 from .identification import identify_large
 from .lcp import LcpController
 from .tagging import MirrorTagger
@@ -152,6 +152,9 @@ class PptReceiver(WindowReceiver):
         if not self._done and len(self.delivered) >= self.n_packets:
             self._done = True
             self._flush_lp_pending()
+            # finished receivers hold {0..n-1} exactly; release the
+            # per-seq hash set (see window._DeliveredAll)
+            self.delivered = _DeliveredAll(self.n_packets)
             self.ctx.on_complete(self.flow)
 
     def _send_lp_ack(self, pkt: Packet) -> None:

@@ -135,13 +135,52 @@ class GridTask:
         return summary
 
 
+class GridTaskError(RuntimeError):
+    """A worker raised while executing a grid cell.
+
+    ``Pool.map`` re-raises worker exceptions in the parent with the
+    worker's traceback discarded and no hint of *which* cell died —
+    useless for a 200-cell sweep.  This wrapper crosses the fork
+    boundary intact (it pickles via :meth:`__reduce__`) and carries the
+    failing cell's identity (``label``, ``scheme``, ``params``) plus
+    the worker-side traceback text, so the parent's stack trace names
+    the exact (scheme, seed, params) cell and shows where in the worker
+    it blew up.
+    """
+
+    def __init__(self, label: str, scheme: str, params: Dict[str, object],
+                 cause: str, worker_traceback: str) -> None:
+        self.label = label
+        self.scheme = scheme
+        self.params = params
+        self.cause = cause
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"grid cell {label or scheme!r} (scheme={scheme!r}, "
+            f"params={params!r}) failed in worker: {cause}\n"
+            f"--- worker traceback ---\n{worker_traceback}")
+
+    def __reduce__(self):
+        return (type(self), (self.label, self.scheme, self.params,
+                             self.cause, self.worker_traceback))
+
+
 # Task table inherited by forked workers; indexed by the integers that
 # actually cross the pipe.  Never mutated while a pool is alive.
 _FORK_TASKS: Optional[Sequence[GridTask]] = None
 
 
 def _run_nth_task(index: int) -> RunSummary:
-    return _FORK_TASKS[index].execute()
+    task = _FORK_TASKS[index]
+    try:
+        return task.execute()
+    except Exception as exc:
+        import traceback as _tb
+        scheme = task.scheme_key or getattr(
+            task.scheme_factory, "__name__", "<factory>")
+        raise GridTaskError(
+            task.label, scheme, dict(task.params),
+            repr(exc), _tb.format_exc()) from exc
 
 
 def default_jobs() -> int:

@@ -34,6 +34,12 @@ from ..core.hypothetical import HypotheticalDctcp, MwRecordingDctcp
 from ..faults.plan import ActiveFaults, FaultPlan
 from ..metrics.fct import FctStats
 from ..obs.telemetry import Telemetry
+from ..resilience.checkpoint import (
+    CheckpointError,
+    RunState,
+    load_checkpoint,
+    save_checkpoint,
+)
 from ..sim.network import Network
 from ..sim.topology import Topology
 from ..transport.base import Flow, Scheme, TransportConfig, TransportContext
@@ -247,12 +253,15 @@ def _stop_instruments(obj) -> None:
 
 
 def run(
-    scheme: Scheme,
-    scenario: Scenario,
+    scheme: Optional[Scheme] = None,
+    scenario: Optional[Scenario] = None,
     *,
     instruments: Optional[Callable[[Topology], object]] = None,
     observe: Union[None, bool, Telemetry] = None,
     validate: Union[None, bool, str, RunAuditor] = None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_path=None,
+    resume: Union[None, str, RunState] = None,
 ) -> RunResult:
     """Execute ``scheme`` on ``scenario``; returns results when all flows
     finish or the watchdog stops the run (stall, event budget, heap
@@ -275,7 +284,46 @@ def run(
     the first broken law, or pass a preconfigured
     :class:`~repro.validate.RunAuditor`.  The auditor only reads state,
     so a validated run is bit-identical to a bare one.
+
+    ``checkpoint_every`` + ``checkpoint_path`` write a
+    :mod:`repro.resilience` snapshot of the whole run every that many
+    *simulated* seconds (atomic replace — the file always holds the
+    newest complete snapshot).  Snapshotting only reads state, so a
+    checkpointed run stays bit-identical to an uncheckpointed one.
+
+    ``resume`` restores such a snapshot (a path or a loaded
+    :class:`~repro.resilience.RunState`) and finishes the run from
+    where it stopped; the result is bit-identical to a run that never
+    stopped.  ``scheme``/``scenario`` may be omitted when resuming —
+    when given, their names are checked against the checkpoint.
+    ``observe``/``validate``/``instruments`` travel inside the snapshot
+    and must not be re-passed.
     """
+    if resume is not None:
+        if observe not in (None, False) or validate not in (None, False) \
+                or instruments is not None:
+            raise ValueError(
+                "observe/validate/instruments are baked into the checkpoint; "
+                "do not pass them together with resume=")
+        state = resume if isinstance(resume, RunState) \
+            else load_checkpoint(resume)
+        if scheme is not None and scheme.name != state.scheme_name:
+            raise CheckpointError(
+                f"checkpoint was taken for scheme {state.scheme_name!r}, "
+                f"cannot resume it as {scheme.name!r}")
+        if scenario is not None and scenario.name != state.scenario_name:
+            raise CheckpointError(
+                f"checkpoint was taken for scenario {state.scenario_name!r}, "
+                f"cannot resume it as {scenario.name!r}")
+        if state.auditor is not None:
+            # certify the restored engine before trusting it with the
+            # rest of the run
+            state.auditor.on_restore()
+        return _finish_run(state, checkpoint_every, checkpoint_path)
+
+    if scheme is None or scenario is None:
+        raise TypeError("run() needs scheme and scenario unless resume= "
+                        "restores them from a checkpoint")
     telemetry = _resolve_observe(observe)
     auditor = _resolve_validate(validate)
     topo = scenario.build_topology()
@@ -311,8 +359,28 @@ def run(
             (flow.start_time, _observed_start, (scheme, flow, ctx, telemetry))
             for flow in flows)
 
-    health = _drain(topo.sim, ctx, flows, scenario, faults, topo.network,
-                    telemetry, auditor)
+    state = RunState(
+        scheme_name=scheme.name,
+        scenario_name=scenario.name,
+        topo=topo, ctx=ctx, flows=flows, faults=faults,
+        telemetry=telemetry, auditor=auditor,
+        max_time=scenario.max_time,
+        stall_slices=scenario.stall_slices,
+        event_budget=scenario.event_budget,
+        max_rto=getattr(scenario.config, "max_rto", 0.25),
+    )
+    return _finish_run(state, checkpoint_every, checkpoint_path)
+
+
+def _finish_run(state: RunState, checkpoint_every: Optional[float],
+                checkpoint_path) -> RunResult:
+    """Drain (or keep draining) a run described by ``state`` and build
+    the result.  Shared by the fresh and resumed paths — which is
+    exactly why a resumed run cannot diverge from a straight-through
+    one after the restore point."""
+    topo, ctx, flows = state.topo, state.ctx, state.flows
+    telemetry, auditor = state.telemetry, state.auditor
+    health = _drain(state, checkpoint_every, checkpoint_path)
     _collect_flow_counters(topo.network, health)
     _stop_instruments(ctx.extra.get("instruments"))
     if telemetry is not None:
@@ -321,8 +389,8 @@ def run(
 
     stats = FctStats.from_flows(flows)
     return RunResult(
-        scheme_name=scheme.name,
-        scenario_name=scenario.name,
+        scheme_name=state.scheme_name,
+        scenario_name=state.scenario_name,
         flows=flows,
         stats=stats,
         topology=topo,
@@ -334,11 +402,20 @@ def run(
     )
 
 
-def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
-           faults: Optional[ActiveFaults], network: Network,
-           telemetry: Optional[Telemetry] = None,
-           auditor: Optional[RunAuditor] = None) -> RunHealth:
-    """Drain the simulator in slices under the run-health watchdog."""
+def _drain(state: RunState, checkpoint_every: Optional[float] = None,
+           checkpoint_path=None) -> RunHealth:
+    """Drain the simulator in slices under the run-health watchdog.
+
+    The loop's position lives on ``state`` (slice clock, watchdog
+    progress signature, checkpoint cadence), so a snapshot taken at any
+    slice boundary resumes mid-loop with nothing lost.  Checkpoints are
+    written at the *end* of an iteration — after the budget, heap and
+    watchdog checks — so a restored run re-enters cleanly at the top of
+    the next iteration.
+    """
+    sim, ctx, flows = state.sim, state.ctx, state.flows
+    faults, network = state.faults, state.topo.network
+    telemetry, auditor = state.telemetry, state.auditor
     n_flows = len(flows)
     health = RunHealth(n_flows=n_flows)
     if faults is not None:
@@ -346,17 +423,16 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
 
     # Drain in slices so we can stop as soon as everything completes
     # (RTO timers would otherwise keep the heap warm until max_time).
-    slice_len = max(scenario.max_time / 200.0, 1e-4)
-    max_rto = getattr(scenario.config, "max_rto", 0.25)
+    slice_len = max(state.max_time / 200.0, 1e-4)
+    max_rto = state.max_rto
     # The watchdog never cries stall before the transport had a chance
     # to recover: at least `stall_slices` quiet slices AND a few backed-
     # off RTOs' worth of quiet time.
-    stall_window = max(scenario.stall_slices * slice_len, 4.0 * max_rto)
+    stall_window = max(state.stall_slices * slice_len, 4.0 * max_rto)
     grace = 2.0 * max_rto
+    checkpointing = (checkpoint_every is not None
+                     and checkpoint_path is not None)
 
-    t = 0.0
-    last_signature = None
-    last_progress_t = 0.0
     heap_empty = False
     watchdog_tripped = False
     # Hold GC off across the whole drain, not per slice: the nested
@@ -368,14 +444,15 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
     if gc_was_enabled:
         gc.disable()
     try:
-        while len(ctx.completed) < n_flows and t < scenario.max_time:
+        while len(ctx.completed) < n_flows and state.t < state.max_time:
             # clamp the final slice: ``t`` stepping past ``max_time``
             # would let the run simulate (and bill) up to one slice
             # beyond the scenario's stated horizon
-            t = min(t + slice_len, scenario.max_time)
+            state.t = min(state.t + slice_len, state.max_time)
+            t = state.t
             max_events = None
-            if scenario.event_budget is not None:
-                remaining = scenario.event_budget - sim.events_run
+            if state.event_budget is not None:
+                remaining = state.event_budget - sim.events_run
                 if remaining <= 0:
                     health.event_budget_exceeded = True
                     break
@@ -394,8 +471,8 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
             sim.sweep()
             if auditor is not None:
                 auditor.on_slice()
-            if (scenario.event_budget is not None
-                    and sim.events_run >= scenario.event_budget):
+            if (state.event_budget is not None
+                    and sim.events_run >= state.event_budget):
                 health.event_budget_exceeded = True
                 break
             if sim.peek_time() is None:
@@ -405,10 +482,10 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
                 heap_empty = True
                 break
             signature = _progress_signature(ctx, network)
-            if signature != last_signature:
-                last_signature = signature
-                last_progress_t = t
-            elif (t - last_progress_t >= stall_window
+            if signature != state.last_signature:
+                state.last_signature = signature
+                state.last_progress_t = t
+            elif (t - state.last_progress_t >= stall_window
                   and (faults is None
                        or not faults.any_active_or_recent(sim.now, grace))
                   and any(f.start_time <= sim.now and not f.completed
@@ -418,6 +495,11 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
                 # not
                 watchdog_tripped = True
                 break
+            if checkpointing and t - state.last_checkpoint_t \
+                    >= checkpoint_every * (1.0 - 1e-12):
+                state.last_checkpoint_t = t
+                state.checkpoints_taken += 1
+                save_checkpoint(state, checkpoint_path)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -429,7 +511,7 @@ def _drain(sim, ctx, flows: List[Flow], scenario: Scenario,
     health.peak_pending = sim.peak_pending
 
     if health.completed < n_flows and not health.event_budget_exceeded:
-        quiet_for = t - last_progress_t
+        quiet_for = state.t - state.last_progress_t
         if heap_empty:
             health.stalled = True
             health.stall_time = sim.now

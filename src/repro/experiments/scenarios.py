@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from ..faults.plan import FaultPlan
+from ..faults.plan import FaultPlan, LinkDown, PacketLoss, RateDegrade
 from ..sim.network import QueueConfig
 from ..sim.topology import Topology, dumbbell, leaf_spine, star
 from ..transport.base import Flow, TransportConfig
@@ -311,6 +311,111 @@ def testbed_scenario(
 
     return Scenario(name, fabric, build_flows, config=testbed_config(),
                     max_time=max_time)
+
+
+# ---------------------------------------------------------------------------
+# long-horizon soak (repro.resilience)
+# ---------------------------------------------------------------------------
+
+
+def soak_fault_plan(
+    horizon: float,
+    *,
+    period: float = 300.0,
+    seed: int = 17,
+    down_port: str = "sw0->host1",
+    loss_port: str = "host2->sw0",
+    degrade_port: str = "sw0->host3",
+) -> FaultPlan:
+    """A repeating fault schedule that fires throughout ``horizon``.
+
+    Every ``period`` simulated seconds one fault lands, rotating through
+    the three injector families — a link blackout, a Bernoulli loss
+    window, a rate degrade — so a soak exercises *every* fault path many
+    times, not once.  Windows are short relative to ``period`` (a tenth)
+    so the fabric keeps making progress and the run-health watchdog's
+    fault grace never masks a real stall for long.
+    """
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon!r}")
+    if period <= 0.0:
+        raise ValueError(f"period must be positive, got {period!r}")
+    events: List[object] = []
+    width = period / 10.0
+    t = period / 2.0
+    k = 0
+    while t < horizon:
+        kind = k % 3
+        if kind == 0:
+            events.append(LinkDown(down_port, t, min(width, 0.05)))
+        elif kind == 1:
+            events.append(PacketLoss(loss_port, 0.02, t, t + width))
+        else:
+            events.append(RateDegrade(degrade_port, 0.25, t, t + width))
+        k += 1
+        t += period
+    return FaultPlan(events, seed=seed)
+
+
+def soak_scenario(
+    name: str = "soak",
+    cdf: EmpiricalCdf = WEB_SEARCH,
+    *,
+    horizon: float = 3600.0,
+    load: float = 0.05,
+    n_hosts: int = 4,
+    rate: float = gbps(0.01),
+    size_cap: Optional[int] = 200_000,
+    seed: int = 23,
+    fault_period: Optional[float] = 300.0,
+    fault_seed: int = 17,
+    faults: Optional[FaultPlan] = None,
+    config: Optional[TransportConfig] = None,
+    event_budget: Optional[int] = None,
+) -> Scenario:
+    """Hours of simulated time on a slow star, faults firing throughout.
+
+    Built for :mod:`repro.resilience`: the flow count is derived from
+    ``horizon`` so the Poisson arrival process spans ~90% of it (the
+    last 10% lets the tail complete), the link rate is deliberately low
+    so an hour of simulated time stays a few million events, and
+    ``fault_period`` (``None`` disables) lays a
+    :func:`soak_fault_plan` over the whole horizon (an explicit
+    ``faults`` plan takes precedence).  Designed to run
+    under ``--validate`` with periodic checkpoints — see
+    ``docs/robustness.md``.
+    """
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon!r}")
+    fabric = star_fabric(n_hosts, rate=rate)
+    if faults is None and fault_period is not None:
+        faults = soak_fault_plan(horizon, period=fault_period,
+                                 seed=fault_seed)
+
+    def build_flows(topo: Topology) -> List[Flow]:
+        hosts = topo.host_ids()
+        mean_size = cdf.mean(size_cap)
+        # arrival rate poisson_flows will use (flows/sec); size it so
+        # arrivals span ~90% of the horizon
+        arrival_rate = load * len(hosts) * topo.edge_rate / (8.0 * mean_size)
+        n_flows = max(2, int(arrival_rate * horizon * 0.9))
+        return poisson_flows(
+            all_to_all(hosts), cdf,
+            load=load, link_rate=topo.edge_rate, n_flows=n_flows,
+            n_senders=len(hosts), seed=seed, size_cap=size_cap)
+
+    # The default 1ms RTO assumes a 40G fabric; at soak rates a single
+    # 1500B serialization takes longer than that, so every un-ACKed
+    # packet would fire a spurious RTO.  Scale RTOmin well past the slow
+    # star's base RTT (~5ms at the default 10 Mbps).
+    if config is None:
+        config = sim_config(min_rto=0.05)
+    # The stall watchdog window scales with the slice length
+    # (horizon/200), so sparse soak traffic with multi-second arrival
+    # gaps is already tolerated; faults get their usual grace on top.
+    return Scenario(name, fabric, build_flows,
+                    config=config, max_time=horizon,
+                    faults=faults, event_budget=event_budget)
 
 
 # ---------------------------------------------------------------------------

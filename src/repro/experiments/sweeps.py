@@ -76,6 +76,47 @@ def sweep(
     ]
 
 
+def supervised_sweep(
+    scheme_factories: Dict[str, Callable[[], Scheme]],
+    scenario_factory: Callable[..., Scenario],
+    variants: Sequence[Dict[str, object]],
+    *,
+    jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 2,
+    progress: Optional[Callable[[str], None]] = None,
+):
+    """:func:`sweep` under the :mod:`repro.resilience` supervisor.
+
+    Same grid, same deterministic order — but a hung, crashed or
+    repeatedly-failing cell is retried with backoff and ultimately
+    quarantined instead of killing the whole sweep.  Returns
+    ``(points, failed)``: the :class:`SweepPoint` list for every cell
+    that completed (grid order preserved) and the
+    :class:`~repro.resilience.FailedTask` records for those that did
+    not.  Because each retry replays the identical simulation, the
+    points a disturbed sweep produces are bit-identical to an
+    undisturbed sweep's — see ``docs/robustness.md``.
+    """
+    from ..resilience import supervise_grid
+
+    tasks = scheme_grid(scheme_factories, scenario_factory, variants)
+    outcome = supervise_grid(tasks, jobs=jobs, task_timeout=task_timeout,
+                             retries=retries, progress=progress)
+    points = [
+        SweepPoint(
+            scheme=summary.scheme,
+            variant=dict(task.params),
+            stats=summary.stats,
+            completed=summary.completed,
+            n_flows=summary.n_flows,
+        )
+        for task, summary in zip(tasks, outcome.summaries)
+        if summary is not None
+    ]
+    return points, outcome.failed
+
+
 def load_sweep_variants(loads: Iterable[float]) -> List[Dict[str, object]]:
     """The most common sweep: one variant per network load."""
     return [{"load": load} for load in loads]

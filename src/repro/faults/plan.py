@@ -143,9 +143,21 @@ class FaultPlan:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for event in self.events:
+        seen = set()
+        for index, event in enumerate(self.events):
             if not isinstance(event, FaultEvent):
                 raise TypeError(f"not a fault event: {event!r}")
+            _validate_event(event, index)
+            # Injector identity is (event, port): two *identical* events
+            # would stack two injectors with different RNG streams on the
+            # same ports — almost certainly a copy-paste bug, and
+            # impossible to tell apart in RunHealth's fault windows.
+            if event in seen:
+                raise ValueError(
+                    f"events[{index}]: duplicate fault event "
+                    f"{event.describe()!r} — each injector needs a "
+                    f"distinct (kind, port, timing) identity")
+            seen.add(event)
 
     # -- construction -----------------------------------------------------
 
@@ -197,6 +209,42 @@ class FaultPlan:
                 # every event type exposes start and end (field or property)
                 active.windows.append((event.describe(), event.start, event.end))
         return active
+
+
+def _validate_event(event, index: int) -> None:
+    """Reject impossible fault timings/parameters at construction time,
+    with errors that name the offending event — not at ``apply()`` time
+    deep inside a sweep worker."""
+
+    def bad(message: str) -> ValueError:
+        return ValueError(
+            f"events[{index}] ({event.describe()}): {message}")
+
+    if event.start < 0.0:
+        raise bad(f"start time {event.start!r} is negative")
+    if isinstance(event, LinkDown):
+        if event.duration <= 0.0:
+            raise bad(f"duration {event.duration!r} must be positive")
+    elif isinstance(event, LinkFlap):
+        if event.down_time <= 0.0:
+            raise bad(f"down_time {event.down_time!r} must be positive")
+        if event.up_time < 0.0:
+            raise bad(f"up_time {event.up_time!r} is negative")
+        if event.cycles < 1:
+            raise bad(f"cycles {event.cycles!r} must be >= 1")
+    elif isinstance(event, (PacketLoss, PacketCorruption)):
+        if not 0.0 <= event.rate <= 1.0:
+            raise bad(f"rate {event.rate!r} is not a probability in [0, 1]")
+        if event.end < event.start:
+            raise bad(f"window ends ({event.end!r}) before it starts "
+                      f"({event.start!r})")
+    else:  # RateDegrade
+        if not 0.0 < event.factor <= 1.0:
+            raise bad(f"factor {event.factor!r} must be in (0, 1] — it "
+                      f"scales the nominal rate down")
+        if event.end < event.start:
+            raise bad(f"window ends ({event.end!r}) before it starts "
+                      f"({event.start!r})")
 
 
 def _parse_one(kind: str, args: List[str]):

@@ -180,6 +180,34 @@ class TelemetrySummary:
         return total
 
 
+class _PortHook:
+    """Per-port mux hook feeding the telemetry trace.
+
+    A picklable callable class (not a closure): simulator checkpoints
+    (:mod:`repro.resilience`) snapshot the run graph including every
+    installed hook, so hook objects must survive pickling.
+    """
+
+    __slots__ = ("telemetry", "kind", "port_name")
+
+    def __init__(self, telemetry: "Telemetry", kind: str, port_name: str) -> None:
+        self.telemetry = telemetry
+        self.kind = kind
+        self.port_name = port_name
+
+    def __call__(self, pkt) -> None:
+        telemetry = self.telemetry
+        telemetry.record(self.kind, telemetry.sim.now, port=self.port_name,
+                         flow_id=pkt.flow_id, seq=pkt.seq,
+                         priority=pkt.priority)
+
+    def __getstate__(self):
+        return (self.telemetry, self.kind, self.port_name)
+
+    def __setstate__(self, state) -> None:
+        self.telemetry, self.kind, self.port_name = state
+
+
 class Telemetry:
     """Owns a run's event trace, counter snapshots and wall-clock profile.
 
@@ -244,13 +272,8 @@ class Telemetry:
                     injector.transition_hook, self._fault_transition)
         return self
 
-    def _port_hook(self, kind: str, port):
-        name = port.name
-
-        def hook(pkt) -> None:
-            self.record(kind, self.sim.now, port=name, flow_id=pkt.flow_id,
-                        seq=pkt.seq, priority=pkt.priority)
-        return hook
+    def _port_hook(self, kind: str, port) -> "_PortHook":
+        return _PortHook(self, kind, port.name)
 
     def _fault_transition(self, port, is_down: bool) -> None:
         self.record(FAULT_DOWN if is_down else FAULT_UP, self.sim.now,

@@ -1,0 +1,344 @@
+"""Supervised grid execution: timeouts, retry with backoff, quarantine.
+
+:func:`repro.experiments.parallel.run_grid` assumes every worker
+finishes; one hung or SIGKILLed process loses the whole sweep.  This
+module runs the same :class:`~repro.experiments.parallel.GridTask`
+cells under a **supervisor** that owns one process per in-flight cell
+(no shared pool — a dead worker cannot poison its neighbours) and
+provides:
+
+* a per-cell **wall-clock timeout** — a hung worker is killed and the
+  cell retried;
+* **crash detection** — a worker that dies without reporting (SIGKILL,
+  OOM-kill, segfault) is detected by process exit, not by a pipe
+  hang;
+* **retry with exponential backoff** — each failed attempt waits
+  ``backoff_base * 2**(failures-1)`` seconds (capped at
+  ``backoff_max``) before relaunching, up to ``retries`` retries;
+* **quarantine** — a cell that exhausts its retry budget becomes a
+  structured :class:`FailedTask` (scheme, params, attempts, reason,
+  worker traceback) instead of aborting the sweep;
+* **deterministic partial merges** — completed cells land at their
+  grid index, so the merge order of whatever completed is identical
+  to an undisturbed sweep's.
+
+Determinism note: every cell builds a fresh scenario from its own
+seeds, so a retried attempt replays the identical simulation — retry
+changes *when* a summary arrives, never *what* it contains.  That is
+what lets the chaos benchmark assert a SIGKILLed sweep merges
+bit-identically to an undisturbed one.
+
+Workers are forked, exactly like ``run_grid``: only the task index
+crosses the pipe inbound and only the summary (or a structured error
+payload) crosses outbound.  On platforms without ``fork`` the grid
+degrades to in-process execution with retry-on-exception semantics
+(timeout and crash recovery need real processes and are disabled).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..experiments.parallel import GridTask, RunSummary, default_jobs
+
+# Supervisor poll cadence.  Coarse enough to stay invisible in profiles,
+# fine enough that a finished worker never idles long.
+POLL_INTERVAL = 0.02
+
+
+@dataclass
+class FailedTask:
+    """A quarantined grid cell: every retry failed.
+
+    Carries everything a post-mortem needs — which cell (grid index,
+    label, scheme, params), how it died (``reason`` is ``"timeout"``,
+    ``"crashed"`` or ``"exception"``), the worker's traceback when one
+    was reported, and the exit code when the process died.
+    """
+
+    index: int
+    label: str
+    scheme: str
+    params: Dict[str, object] = field(default_factory=dict)
+    attempts: int = 0
+    reason: str = ""
+    detail: str = ""
+    exitcode: Optional[int] = None
+    elapsed: float = 0.0
+
+    def describe(self) -> str:
+        parts = [f"cell {self.index} ({self.label or self.scheme})",
+                 f"{self.attempts} attempt(s)", self.reason]
+        if self.exitcode is not None:
+            parts.append(f"exit {self.exitcode}")
+        return ": ".join((", ".join(parts), self.detail.strip().splitlines()[-1]
+                          if self.detail else "no detail"))
+
+
+@dataclass
+class SupervisedResult:
+    """Outcome of a supervised grid: summaries in grid order, failures
+    quarantined.
+
+    ``summaries[i]`` is the i-th task's :class:`RunSummary`, or ``None``
+    when that cell was quarantined (its :class:`FailedTask` is in
+    ``failed``, also ordered by grid index).  ``attempts_total`` counts
+    every process launched, so ``attempts_total - len(tasks)`` is the
+    number of retries the sweep needed.
+    """
+
+    summaries: List[Optional[RunSummary]] = field(default_factory=list)
+    failed: List[FailedTask] = field(default_factory=list)
+    attempts_total: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def completed(self) -> List[RunSummary]:
+        """The summaries that exist, still in deterministic grid order."""
+        return [s for s in self.summaries if s is not None]
+
+
+# Task table inherited by forked workers (same pattern as
+# parallel._FORK_TASKS); indexed by the integers that cross the pipe.
+_SUPERVISED_TASKS: Optional[Sequence[GridTask]] = None
+
+
+def _supervised_entry(index: int, conn) -> None:
+    """Worker side: run one cell, report ``("ok", summary)`` or a
+    structured ``("error", context, traceback)`` tuple.  A worker that
+    dies before sending anything (SIGKILL, segfault) is detected by the
+    supervisor through process exit instead."""
+    try:
+        summary = _SUPERVISED_TASKS[index].execute()
+        payload = ("ok", summary)
+    except BaseException as exc:  # noqa: BLE001 - the whole point
+        task = _SUPERVISED_TASKS[index]
+        context = {
+            "label": task.label,
+            "scheme": task.scheme_key or type(exc).__name__,
+            "params": dict(task.params),
+            "exception": repr(exc),
+        }
+        payload = ("error", context, traceback.format_exc())
+    try:
+        conn.send(payload)
+    except Exception:
+        # an unpicklable summary/exception must still fail loudly: the
+        # supervisor sees the nonzero exit and books a crash
+        os._exit(70)
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """One in-flight worker process for one cell."""
+
+    __slots__ = ("index", "number", "process", "conn", "started")
+
+    def __init__(self, index: int, number: int, ctx) -> None:
+        self.index = index
+        self.number = number
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_supervised_entry, args=(index, child_conn), daemon=True)
+        self.started = time.monotonic()
+        self.process.start()
+        child_conn.close()  # the child owns its end now
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+        self.conn.close()
+
+    def reap(self) -> None:
+        self.process.join()
+        self.conn.close()
+
+
+def backoff_delay(failures: int, base: float, cap: float) -> float:
+    """Exponential backoff after ``failures`` failed attempts."""
+    if failures <= 0:
+        return 0.0
+    return min(cap, base * (2.0 ** (failures - 1)))
+
+
+def supervise_grid(
+    tasks: Sequence[GridTask],
+    *,
+    jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff_base: float = 0.25,
+    backoff_max: float = 5.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SupervisedResult:
+    """Execute every task under supervision; never raises for a cell
+    failure.
+
+    ``jobs`` follows :func:`~repro.experiments.parallel.run_grid`
+    semantics (``None``/``0``/``1`` serial, ``-1`` one per core).
+    ``task_timeout`` is wall-clock seconds per attempt (``None`` = no
+    limit).  ``retries`` is the per-cell retry budget *after* the first
+    attempt.  ``progress`` fires once per task in grid order after the
+    sweep settles, like ``run_grid``'s parallel path.
+
+    Without ``fork`` (or serial), cells run in-process: exceptions are
+    retried with the same backoff and budget, but timeout/crash
+    recovery — which require a killable process — are unavailable.
+    """
+    tasks = list(tasks)
+    result = SupervisedResult(summaries=[None] * len(tasks))
+    if not tasks:
+        return result
+    if jobs is not None and jobs < 0:
+        jobs = default_jobs()
+    n_workers = min(jobs or 1, len(tasks))
+
+    if n_workers <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+        _supervise_serial(tasks, result, retries, backoff_base, backoff_max)
+    else:
+        _supervise_forked(tasks, result, n_workers, task_timeout, retries,
+                          backoff_base, backoff_max)
+
+    result.failed.sort(key=lambda f: f.index)
+    if progress is not None:
+        for task in tasks:
+            progress(task.label)
+    return result
+
+
+def _supervise_serial(tasks, result, retries, backoff_base, backoff_max) -> None:
+    for index, task in enumerate(tasks):
+        failures = 0
+        started = time.monotonic()
+        while True:
+            result.attempts_total += 1
+            try:
+                result.summaries[index] = task.execute()
+                break
+            except Exception:  # noqa: BLE001 - quarantine, don't abort
+                failures += 1
+                if failures > retries:
+                    result.failed.append(FailedTask(
+                        index=index, label=task.label,
+                        scheme=task.scheme_key, params=dict(task.params),
+                        attempts=failures, reason="exception",
+                        detail=traceback.format_exc(),
+                        elapsed=time.monotonic() - started))
+                    break
+                time.sleep(backoff_delay(failures, backoff_base, backoff_max))
+
+
+def _supervise_forked(tasks, result, n_workers, task_timeout, retries,
+                      backoff_base, backoff_max) -> None:
+    global _SUPERVISED_TASKS
+    previous = _SUPERVISED_TASKS
+    _SUPERVISED_TASKS = tasks
+    ctx = multiprocessing.get_context("fork")
+    failures: Dict[int, int] = {i: 0 for i in range(len(tasks))}
+    last_error: Dict[int, tuple] = {}   # index -> (reason, detail, exitcode)
+    spent: Dict[int, float] = {i: 0.0 for i in range(len(tasks))}
+    ready: List[int] = list(range(len(tasks)))     # FIFO launch queue
+    not_before: Dict[int, float] = {}              # backoff gate
+    in_flight: Dict[int, _Attempt] = {}
+    try:
+        while ready or in_flight:
+            now = time.monotonic()
+            # launch every eligible cell into a free worker slot
+            launchable = [i for i in ready if not_before.get(i, 0.0) <= now]
+            while launchable and len(in_flight) < n_workers:
+                index = launchable.pop(0)
+                ready.remove(index)
+                result.attempts_total += 1
+                in_flight[index] = _Attempt(
+                    index, failures[index] + 1, ctx)
+
+            if not in_flight:
+                # everything ready is gated behind backoff: sleep it off
+                wake = min(not_before[i] for i in ready)
+                time.sleep(max(0.0, wake - time.monotonic()) or POLL_INTERVAL)
+                continue
+
+            time.sleep(POLL_INTERVAL)
+            for index, attempt in list(in_flight.items()):
+                outcome = _poll_attempt(attempt, task_timeout)
+                if outcome is None:
+                    continue
+                del in_flight[index]
+                spent[index] += attempt.elapsed()
+                kind = outcome[0]
+                if kind == "ok":
+                    result.summaries[index] = outcome[1]
+                    continue
+                # failed attempt: retry under budget, else quarantine
+                failures[index] += 1
+                last_error[index] = outcome
+                if failures[index] > retries:
+                    reason, detail, exitcode = last_error[index]
+                    task = tasks[index]
+                    result.failed.append(FailedTask(
+                        index=index, label=task.label,
+                        scheme=task.scheme_key, params=dict(task.params),
+                        attempts=failures[index], reason=reason,
+                        detail=detail, exitcode=exitcode,
+                        elapsed=spent[index]))
+                else:
+                    ready.append(index)
+                    not_before[index] = time.monotonic() + backoff_delay(
+                        failures[index], backoff_base, backoff_max)
+    finally:
+        for attempt in in_flight.values():
+            attempt.kill()
+        _SUPERVISED_TASKS = previous
+
+
+def _poll_attempt(attempt: _Attempt, task_timeout: Optional[float]):
+    """Check one in-flight worker.  Returns ``None`` (still running),
+    ``("ok", summary)``, or ``(reason, detail, exitcode)``."""
+    try:
+        if attempt.conn.poll():
+            payload = attempt.conn.recv()
+            attempt.reap()
+            if payload[0] == "ok":
+                return ("ok", payload[1])
+            _kind, context, worker_tb = payload
+            detail = (f"task {context['label'] or context['scheme']} "
+                      f"params={context['params']} raised "
+                      f"{context['exception']}\n{worker_tb}")
+            return ("exception", detail, attempt.process.exitcode)
+    except (EOFError, OSError):
+        # pipe died with the worker mid-send
+        attempt.reap()
+        return ("crashed",
+                f"worker pipe closed without a result "
+                f"(exit {attempt.process.exitcode})",
+                attempt.process.exitcode)
+
+    if not attempt.process.is_alive():
+        exitcode = attempt.process.exitcode
+        attempt.reap()
+        return ("crashed",
+                f"worker exited without reporting a result "
+                f"(exit {exitcode}; SIGKILL/OOM leaves -9)",
+                exitcode)
+
+    if task_timeout is not None and attempt.elapsed() > task_timeout:
+        elapsed = attempt.elapsed()
+        attempt.kill()
+        return ("timeout",
+                f"attempt exceeded task_timeout ({elapsed:.2f}s > "
+                f"{task_timeout:.2f}s); worker killed",
+                attempt.process.exitcode)
+    return None

@@ -117,6 +117,41 @@ class Simulator:
         # high-water mark of raw heap entries, updated on every push
         self.peak_pending: int = 0
 
+    # -- checkpointing ---------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Snapshot for :mod:`repro.resilience` checkpoints.
+
+        The free-list is deliberately excluded: pooled Events are dead
+        objects whose only purpose is allocation reuse, and whether an
+        event comes from the pool or a fresh allocation cannot change
+        behaviour — dropping them keeps snapshots lean.  ``_running``
+        is reset because checkpoints are only taken between drain
+        slices, never from inside a callback.
+        """
+        if self._running:
+            raise RuntimeError(
+                "cannot snapshot a Simulator from inside a running callback; "
+                "checkpoints must be taken between drain slices")
+        return {
+            "now": self.now,
+            "_heap": self._heap,
+            "_seq": self._seq,
+            "_events_run": self._events_run,
+            "_live": self._live,
+            "peak_pending": self.peak_pending,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.now = state["now"]
+        self._heap = state["_heap"]
+        self._seq = state["_seq"]
+        self._events_run = state["_events_run"]
+        self._live = state["_live"]
+        self.peak_pending = state["peak_pending"]
+        self._running = False
+        self._free = []
+
     # -- scheduling -----------------------------------------------------
 
     # Delays more negative than this are genuine scheduling-into-the-past

@@ -97,6 +97,27 @@ class Wire:
         # fixed after Port construction — nothing ever reassigns it)
         self._recv_cb = None
 
+    def __getstate__(self) -> dict:
+        """Checkpoint snapshot: the bound-callback caches are rebuilt on
+        restore instead of being pickled (pickling them would only
+        duplicate the bound-method objects in the snapshot)."""
+        return {
+            "sim": self.sim,
+            "port": self.port,
+            "pending": self.pending,
+            "head_event": self.head_event,
+            "pipelined": self.pipelined,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.sim = state["sim"]
+        self.port = state["port"]
+        self.pending = state["pending"]
+        self.head_event = state["head_event"]
+        self.pipelined = state["pipelined"]
+        self._deliver_cb = self._deliver
+        self._recv_cb = None  # rebound lazily on first delivery
+
     def push(self, pkt: Packet) -> None:
         """Put a freshly serialized packet onto the wire.
 
@@ -249,6 +270,17 @@ class Port:
         self.fault_admit_drop_bytes = 0
         self.fault_wire_drops = 0
         self.fault_wire_drop_bytes = 0
+
+    def __getstate__(self) -> dict:
+        """Checkpoint snapshot: same contract as :meth:`Wire.__getstate__`
+        — the ``_tx_cb`` bound-callback cache is rebuilt on restore."""
+        return {name: getattr(self, name) for name in self.__slots__
+                if name != "_tx_cb"}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._tx_cb = self._tx_done
 
     @property
     def rate_bps(self) -> float:

@@ -36,6 +36,58 @@ class DropRecord:
     unscheduled: bool
 
 
+class _DropHook:
+    """One port's drop callback.  A picklable callable class (not a
+    closure) so an instrumented run can be checkpointed — simulator
+    snapshots (:mod:`repro.resilience`) pickle the hook sites along
+    with the rest of the run graph."""
+
+    __slots__ = ("tracer", "port")
+
+    def __init__(self, tracer: "DropTracer", port) -> None:
+        self.tracer = tracer
+        self.port = port
+
+    def __call__(self, pkt: Packet) -> None:
+        port = self.port
+        self.tracer.records.append(DropRecord(
+            time=port.sim.now,
+            port=port.name,
+            flow_id=pkt.flow_id,
+            seq=pkt.seq,
+            priority=pkt.priority,
+            kind=pkt.kind,
+            lcp=pkt.lcp,
+            unscheduled=pkt.unscheduled,
+        ))
+
+    def __getstate__(self):
+        return (self.tracer, self.port)
+
+    def __setstate__(self, state) -> None:
+        self.tracer, self.port = state
+
+
+class _MarkHook:
+    """One port's ECN-mark callback; same picklability contract as
+    :class:`_DropHook`."""
+
+    __slots__ = ("tracer", "port_name")
+
+    def __init__(self, tracer: "MarkTracer", port_name: str) -> None:
+        self.tracer = tracer
+        self.port_name = port_name
+
+    def __call__(self, pkt: Packet) -> None:
+        self.tracer._counts[self.port_name] += 1
+
+    def __getstate__(self):
+        return (self.tracer, self.port_name)
+
+    def __setstate__(self, state) -> None:
+        self.tracer, self.port_name = state
+
+
 class DropTracer:
     """Records every drop in the fabric via the muxes' drop hooks."""
 
@@ -56,19 +108,8 @@ class DropTracer:
             port.mux.add_drop_hook(tracer._make_hook(port))
         return tracer
 
-    def _make_hook(self, port):
-        def hook(pkt: Packet) -> None:
-            self.records.append(DropRecord(
-                time=port.sim.now,
-                port=port.name,
-                flow_id=pkt.flow_id,
-                seq=pkt.seq,
-                priority=pkt.priority,
-                kind=pkt.kind,
-                lcp=pkt.lcp,
-                unscheduled=pkt.unscheduled,
-            ))
-        return hook
+    def _make_hook(self, port) -> "_DropHook":
+        return _DropHook(self, port)
 
     # -- summaries ---------------------------------------------------------
 
@@ -114,10 +155,8 @@ class MarkTracer:
         for port in network.ports:
             port.mux.add_mark_hook(self._make_hook(port.name))
 
-    def _make_hook(self, port_name: str):
-        def hook(pkt: Packet) -> None:
-            self._counts[port_name] += 1
-        return hook
+    def _make_hook(self, port_name: str) -> _MarkHook:
+        return _MarkHook(self, port_name)
 
     def delta(self) -> Dict[str, int]:
         """Marks since construction, per port (zero entries omitted)."""

@@ -23,12 +23,53 @@ SACK that is exact at packet granularity.
 from __future__ import annotations
 
 import math
+from collections.abc import Set as _AbstractSet
 from typing import Dict, Optional, Set
 
 from ..sim.engine import Event
 from ..sim.network import Network
 from ..sim.packet import ACK, ACK_BYTES, DATA, Packet
 from .base import Flow, TransportConfig, TransportContext
+
+
+class _DeliveredAll(_AbstractSet):
+    """Memory-flat stand-in for a *finished* flow's delivered-seq set.
+
+    When a flow completes, its delivered set is provably exactly
+    ``{0, .., n_packets-1}`` (``cum`` only advances past delivered seqs
+    and no seq >= ``n_packets`` is ever created), so the per-seq hash
+    set can be replaced by this O(1)-memory equivalent.  Long-horizon
+    soaks retire tens of thousands of flows; without this swap the
+    retired endpoints' seq sets dominate the process's memory and grow
+    without bound (see docs/robustness.md).
+
+    Implements the full ``collections.abc.Set`` protocol, so membership,
+    ``len``, iteration and set comparisons against real ``set`` objects
+    all behave exactly as the original set did.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __contains__(self, seq: object) -> bool:
+        return isinstance(seq, int) and 0 <= seq < self.n
+
+    def __iter__(self):
+        return iter(range(self.n))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_DeliveredAll n={self.n}>"
+
+    def __getstate__(self):
+        return self.n
+
+    def __setstate__(self, n) -> None:
+        self.n = n
 
 
 class WindowReceiver:
@@ -76,6 +117,11 @@ class WindowReceiver:
         self.acknowledge(pkt)
         if not self._done and len(delivered) >= self.n_packets:
             self._done = True
+            # all n seqs are provably in ``delivered`` now: swap the
+            # per-seq set for the O(1) equivalent (late duplicates only
+            # probe membership) so retired receivers stop holding one
+            # hash entry per packet — see _DeliveredAll
+            self.delivered = _DeliveredAll(self.n_packets)
             self.ctx.on_complete(self.flow)
 
     def acknowledge(self, pkt: Packet) -> None:
@@ -221,7 +267,25 @@ class WindowSender:
         self.finished = True
         if self._rto_event is not None:
             self._rto_event.cancel()
-            self._rto_event = None
+        self._release_seq_state()
+
+    def _release_seq_state(self) -> None:
+        """Swap the per-seq containers of a *completed* flow for O(1)
+        equivalents.  Every read that can still happen (progress
+        signature ``len``, auditor finalize membership/len, late
+        duplicate ACKs bounced off the ``finished`` guard) behaves
+        identically; what disappears is one hash entry per packet per
+        retired flow — the difference between flat and linearly growing
+        memory on a long-horizon soak."""
+        if len(self.delivered) >= self.n_packets:
+            self.delivered = _DeliveredAll(self.n_packets)
+        self.outstanding.clear()
+        # dead once ``finished`` is set: try_send/handle_ack/transmit all
+        # short-circuit, so nothing consults send history or Karn marks
+        self._ever_sent = set()
+        self._rtx_seqs = set()
+        self._no_hole_floor = None
+        self._rto_event = None
 
     # -- sending ----------------------------------------------------------
 

@@ -218,6 +218,22 @@ class RunAuditor:
         for sender in self._endpoints(WindowSender):
             self._audit_rto(sender)
 
+    def on_restore(self) -> None:
+        """Re-certify a run restored from a :mod:`repro.resilience`
+        checkpoint before it is allowed to continue.
+
+        A resumed graph is only trustworthy if the deserialized engine
+        still satisfies the same laws the live engine did: no live event
+        behind the restored clock, every queue ledger internally
+        consistent, every armed RTO ahead of now.  That is exactly the
+        per-slice audit — re-run against the restored state — plus a
+        clock re-baseline, since ``_last_now`` from the checkpointed
+        auditor already equals the restored ``sim.now`` and must not
+        trip the monotonicity law spuriously.
+        """
+        self._last_now = min(self._last_now, self.sim.now)
+        self.on_slice()
+
     def _audit_mux(self, port) -> None:
         for law, message, details in audit_mux(port.mux):
             self._violate(law, port.name, message, **details)

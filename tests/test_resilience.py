@@ -1,0 +1,382 @@
+"""Checkpoint/resume: bit-identity, versioning, atomicity, CLI plumbing.
+
+The headline guarantee under test: a run stopped at any checkpoint and
+resumed later is **bit-identical** to a run that never stopped — same
+per-flow FCTs (down to the float repr), same event count, same telemetry
+event trace, same validation verdict.  The property test drives that
+across schemes (DCTCP, PPT, Homa, NDP), topologies and mid-run fault
+plans; the double-restart test kills and resumes the same run twice.
+"""
+
+import io
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import SCHEME_FACTORIES
+from repro.experiments.runner import run
+from repro.experiments.scenarios import (
+    all_to_all_scenario,
+    incast_scenario,
+    sim_fabric,
+    soak_scenario,
+)
+from repro.faults import FaultPlan, LinkDown, PacketLoss
+from repro.resilience import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    RunState,
+    inspect_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.transport.dctcp import Dctcp
+from repro.workloads.distributions import WEB_SEARCH
+
+FABRICS = {
+    "tiny": lambda: sim_fabric(n_leaf=2, n_spine=2, hosts_per_leaf=2),
+    "wide": lambda: sim_fabric(n_leaf=2, n_spine=1, hosts_per_leaf=4),
+}
+
+PLANS = {
+    "none": None,
+    "down": FaultPlan([LinkDown("leaf0->spine0", 0.0001, 0.001)]),
+    "loss": FaultPlan([PacketLoss("leaf*->spine0", 0.02, 0.0, 0.01)], seed=5),
+}
+
+
+def scenario_for(fabric_key, plan_key, seed):
+    # max_time=0.02 puts drain slices at the 100us floor (max_time/200,
+    # floored at 1e-4); the runs here last >= 250us, so every run spans
+    # several slices and checkpoint_every=0.0 always lands at least one
+    # snapshot before the heap empties
+    return all_to_all_scenario(
+        f"ckpt-{fabric_key}-{plan_key}-{seed}", WEB_SEARCH, load=0.5,
+        n_flows=12, size_cap=150_000, seed=seed,
+        fabric=FABRICS[fabric_key](), faults=PLANS[plan_key], max_time=0.02)
+
+
+def fct_fingerprint(result):
+    # repr() captures every bit of the float — equality is bit-identity
+    return [(f.flow_id, f.completed, repr(f.fct)) for f in result.flows]
+
+
+def trace_fingerprint(telemetry):
+    return [e.to_dict() for e in telemetry.iter_events()]
+
+
+@pytest.fixture
+def ckpt_path(tmp_path):
+    return str(tmp_path / "run.ckpt")
+
+
+# -- bit-identity ----------------------------------------------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(scheme=st.sampled_from(["dctcp", "ppt", "homa", "ndp"]),
+       fabric=st.sampled_from(sorted(FABRICS)),
+       plan=st.sampled_from(sorted(PLANS)),
+       seed=st.integers(min_value=1, max_value=4))
+def test_resume_bit_identical_property(tmp_path_factory, scheme, fabric,
+                                       plan, seed):
+    """checkpoint -> resume == straight-through, across schemes,
+    topologies and mid-run fault plans."""
+    path = str(tmp_path_factory.mktemp("ck") / "run.ckpt")
+    factory = SCHEME_FACTORIES[scheme]
+
+    straight = run(factory(), scenario_for(fabric, plan, seed))
+    checked = run(factory(), scenario_for(fabric, plan, seed),
+                  checkpoint_every=0.0, checkpoint_path=path)
+    # checkpointing itself must be invisible
+    assert fct_fingerprint(checked) == fct_fingerprint(straight)
+    assert checked.wall_events == straight.wall_events
+
+    if not os.path.exists(path):
+        # run finished within one drain slice; nothing left to resume
+        return
+    state = load_checkpoint(path)
+    if state.sim.events_run >= straight.wall_events:
+        return
+    resumed = run(resume=state)
+    assert fct_fingerprint(resumed) == fct_fingerprint(straight)
+    assert resumed.wall_events == straight.wall_events
+    assert resumed.health == straight.health
+
+
+def test_resume_from_every_checkpoint_is_identical(tmp_path):
+    """Every snapshot along one run — not just the last — resumes to the
+    same end state."""
+    path = str(tmp_path / "run.ckpt")
+    copies = []
+
+    real_save = save_checkpoint
+
+    def hoarding_save(state, p):
+        header = real_save(state, p)
+        copies.append((header["sim_time"],
+                       (tmp_path / f"copy{len(copies)}.ckpt")))
+        import shutil
+        shutil.copy(p, copies[-1][1])
+        return header
+
+    import repro.experiments.runner as runner_mod
+    straight = run(Dctcp(), scenario_for("tiny", "loss", 3))
+    old = runner_mod.save_checkpoint
+    runner_mod.save_checkpoint = hoarding_save
+    try:
+        checked = run(Dctcp(), scenario_for("tiny", "loss", 3),
+                      checkpoint_every=0.0, checkpoint_path=path)
+    finally:
+        runner_mod.save_checkpoint = old
+    assert fct_fingerprint(checked) == fct_fingerprint(straight)
+    assert copies, "run finished without writing any checkpoint"
+
+    for _sim_time, copy in copies:
+        resumed = run(resume=str(copy))
+        assert fct_fingerprint(resumed) == fct_fingerprint(straight)
+        assert resumed.wall_events == straight.wall_events
+
+
+def test_double_restart_kill_resume_kill_resume(tmp_path, monkeypatch):
+    """Resume a run, checkpoint *again* mid-resume, resume that — the
+    final state is still bit-identical to never having stopped."""
+    first = str(tmp_path / "first.ckpt")
+    second = str(tmp_path / "second.ckpt")
+    scenario = lambda: scenario_for("tiny", "down", 2)
+
+    straight = run(Dctcp(), scenario())
+
+    # keep only the *earliest* snapshot per file — checkpoint_every=0.0
+    # would otherwise overwrite it every slice and leave the finished
+    # state, making both restarts trivial
+    import repro.experiments.runner as runner_mod
+    real_save = save_checkpoint
+
+    def first_only(state, p):
+        if not os.path.exists(p):
+            return real_save(state, p)
+        return state.header()
+
+    monkeypatch.setattr(runner_mod, "save_checkpoint", first_only)
+    run(Dctcp(), scenario(), checkpoint_every=0.0, checkpoint_path=first)
+
+    # restart #1: load the early snapshot, keep checkpointing elsewhere
+    assert os.path.exists(first), "run finished without any checkpoint"
+    state = load_checkpoint(first)
+    assert state.sim.events_run < straight.wall_events, \
+        "first snapshot should be mid-flight"
+    resumed_once = run(resume=state, checkpoint_every=0.0,
+                       checkpoint_path=second)
+    assert fct_fingerprint(resumed_once) == fct_fingerprint(straight)
+
+    # restart #2: resume the checkpoint written during the resumed run
+    state2 = load_checkpoint(second)
+    resumed_twice = run(resume=state2)
+    assert fct_fingerprint(resumed_twice) == fct_fingerprint(straight)
+    assert resumed_twice.wall_events == straight.wall_events
+
+
+def test_observed_and_validated_run_survives_resume(tmp_path):
+    """Telemetry and the invariant auditor travel inside the snapshot;
+    the resumed trace equals the straight-through trace and the auditor
+    re-certifies the restored engine with zero violations."""
+    path = str(tmp_path / "run.ckpt")
+    straight = run(Dctcp(), scenario_for("tiny", "loss", 1),
+                   observe=True, validate=True)
+    run(Dctcp(), scenario_for("tiny", "loss", 1),
+        observe=True, validate=True,
+        checkpoint_every=0.0, checkpoint_path=path)
+    assert os.path.exists(path), "run finished without any checkpoint"
+    state = load_checkpoint(path)
+    if state.sim.events_run >= straight.wall_events:
+        pytest.skip("run too short to checkpoint mid-flight")
+    resumed = run(resume=state)
+    assert fct_fingerprint(resumed) == fct_fingerprint(straight)
+    assert trace_fingerprint(resumed.telemetry) == \
+        trace_fingerprint(straight.telemetry)
+    assert resumed.validation is not None and resumed.validation.ok
+    # on_restore ran extra checks, so the resumed report did more work
+    assert resumed.validation.checks_run >= straight.validation.checks_run
+
+
+# -- format, versioning, atomicity ----------------------------------------
+
+
+def test_header_inspection_is_cheap_and_correct(ckpt_path):
+    run(Dctcp(), scenario_for("tiny", "none", 1),
+        checkpoint_every=0.0, checkpoint_path=ckpt_path)
+    header = inspect_checkpoint(ckpt_path)
+    assert header["format"] == CHECKPOINT_FORMAT
+    assert header["version"] == CHECKPOINT_VERSION
+    assert header["scheme"] == "dctcp"
+    assert header["n_flows"] == 12
+    assert header["checkpoints_taken"] >= 1
+
+
+def test_version_mismatch_is_refused(ckpt_path):
+    run(Dctcp(), scenario_for("tiny", "none", 1),
+        checkpoint_every=0.0, checkpoint_path=ckpt_path)
+    state = load_checkpoint(ckpt_path)
+    header = state.header()
+    header["version"] = CHECKPOINT_VERSION + 1
+    buf = io.BytesIO()
+    pickle.dump(header, buf)
+    pickle.dump(state, buf)
+    with open(ckpt_path, "wb") as fh:
+        fh.write(buf.getvalue())
+    with pytest.raises(CheckpointError, match="version"):
+        load_checkpoint(ckpt_path)
+    with pytest.raises(CheckpointError, match="version"):
+        inspect_checkpoint(ckpt_path)
+
+
+def test_foreign_and_missing_files_are_refused(tmp_path):
+    garbage = tmp_path / "garbage.bin"
+    garbage.write_bytes(b"\x00\x01\x02 not a checkpoint")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(garbage))
+    wrong_format = tmp_path / "wrong.ckpt"
+    with open(wrong_format, "wb") as fh:
+        pickle.dump({"format": "something-else", "version": 1}, fh)
+    with pytest.raises(CheckpointError, match="not a"):
+        load_checkpoint(str(wrong_format))
+    with pytest.raises(CheckpointError, match="cannot open"):
+        load_checkpoint(str(tmp_path / "does-not-exist.ckpt"))
+
+
+def test_scheme_scenario_mismatch_is_refused(ckpt_path):
+    run(Dctcp(), scenario_for("tiny", "none", 1),
+        checkpoint_every=0.0, checkpoint_path=ckpt_path)
+    from repro.core.ppt import Ppt
+    with pytest.raises(CheckpointError, match="scheme"):
+        run(Ppt(), scenario_for("tiny", "none", 1), resume=ckpt_path)
+    with pytest.raises(CheckpointError, match="scenario"):
+        run(Dctcp(), scenario_for("wide", "none", 1), resume=ckpt_path)
+
+
+def test_resume_rejects_observe_validate_instruments(ckpt_path):
+    run(Dctcp(), scenario_for("tiny", "none", 1),
+        checkpoint_every=0.0, checkpoint_path=ckpt_path)
+    with pytest.raises(ValueError, match="baked into"):
+        run(resume=ckpt_path, observe=True)
+    with pytest.raises(ValueError, match="baked into"):
+        run(resume=ckpt_path, validate=True)
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    path = str(tmp_path / "run.ckpt")
+    run(Dctcp(), scenario_for("tiny", "none", 2),
+        checkpoint_every=0.0, checkpoint_path=path)
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name != "run.ckpt"]
+    assert leftovers == []
+
+
+# -- soak scenario ---------------------------------------------------------
+
+
+def test_soak_scenario_smoke_under_validate():
+    """A short soak horizon: faults fire, every flow completes, zero
+    invariant violations."""
+    scenario = soak_scenario(horizon=60.0, fault_period=10.0, seed=2)
+    result = run(Dctcp(), scenario, validate=True)
+    assert result.health.ok, result.health.summary()
+    assert result.validation.ok
+    assert len(result.health.fault_windows) >= 5
+    assert result.health.sim_time > 30.0
+
+
+def test_soak_scenario_checkpoints_and_resumes(tmp_path):
+    path = str(tmp_path / "soak.ckpt")
+    straight = run(Dctcp(), soak_scenario(horizon=60.0, fault_period=10.0))
+    run(Dctcp(), soak_scenario(horizon=60.0, fault_period=10.0),
+        checkpoint_every=5.0, checkpoint_path=path)
+    state = load_checkpoint(path)
+    resumed = run(resume=state)
+    assert fct_fingerprint(resumed) == fct_fingerprint(straight)
+    assert resumed.wall_events == straight.wall_events
+
+
+def test_soak_rejects_bad_horizon():
+    with pytest.raises(ValueError, match="horizon"):
+        soak_scenario(horizon=0.0)
+    from repro.experiments.scenarios import soak_fault_plan
+    with pytest.raises(ValueError, match="period"):
+        soak_fault_plan(10.0, period=-1.0)
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_checkpoint_and_resume_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+    path = str(tmp_path / "cli.ckpt")
+    # a soak run spans hundreds of drain slices, so --checkpoint-every
+    # has plenty of boundaries to land snapshots on
+    base = ["run", "--schemes", "dctcp", "--soak", "20", "--seed", "3"]
+    assert main(base) == 0
+    table = capsys.readouterr().out
+    assert main(base + ["--checkpoint", path, "--checkpoint-every", "5.0"]) \
+        == 0
+    assert capsys.readouterr().out == table
+    assert main(["run", "--resume", path]) == 0
+    assert capsys.readouterr().out == table
+
+
+def test_cli_checkpoint_flag_validation(capsys):
+    from repro.cli import main
+    # needs --checkpoint-every
+    assert main(["run", "--schemes", "dctcp", "--flows", "8",
+                 "--checkpoint", "/tmp/x.ckpt"]) == 2
+    # one checkpoint file describes one run
+    assert main(["run", "--schemes", "dctcp", "ppt", "--flows", "8",
+                 "--checkpoint", "/tmp/x.ckpt",
+                 "--checkpoint-every", "0.1"]) == 2
+    # a missing checkpoint is a clean error, not a traceback
+    assert main(["run", "--resume", "/tmp/definitely-missing.ckpt"]) == 2
+
+
+def test_cli_soak_flag(capsys):
+    from repro.cli import main
+    assert main(["run", "--schemes", "dctcp", "--soak", "20",
+                 "--validate", "--health"]) == 0
+    out = capsys.readouterr().out
+    assert "dctcp" in out
+
+
+# -- fault plan construction validation ------------------------------------
+
+
+def test_fault_plan_rejects_negative_start():
+    with pytest.raises(ValueError, match="negative"):
+        FaultPlan([LinkDown("sw0->sw1", -0.5, 1.0)])
+
+
+def test_fault_plan_rejects_end_before_start():
+    with pytest.raises(ValueError, match="before it starts"):
+        FaultPlan([PacketLoss("sw0->sw1", 0.1, start=2.0, end=1.0)])
+
+
+def test_fault_plan_rejects_bad_rates_and_cycles():
+    from repro.faults import LinkFlap, RateDegrade
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan([PacketLoss("sw0->sw1", 1.5)])
+    with pytest.raises(ValueError, match="cycles"):
+        FaultPlan([LinkFlap("sw0->sw1", 0.1, 0.1, 0.1, cycles=0)])
+    with pytest.raises(ValueError, match="factor"):
+        FaultPlan([RateDegrade("sw0->sw1", 0.0, 0.1)])
+    with pytest.raises(ValueError, match="duration"):
+        FaultPlan([LinkDown("sw0->sw1", 0.1, 0.0)])
+
+
+def test_fault_plan_rejects_duplicate_injectors():
+    with pytest.raises(ValueError, match="duplicate"):
+        FaultPlan([LinkDown("sw0->sw1", 0.1, 0.2),
+                   LinkDown("sw0->sw1", 0.1, 0.2)])
+    # distinct timings on the same port are fine
+    FaultPlan([LinkDown("sw0->sw1", 0.1, 0.2),
+               LinkDown("sw0->sw1", 0.5, 0.2)])
