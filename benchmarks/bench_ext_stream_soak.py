@@ -1,0 +1,96 @@
+"""Extension: multi-million-flow streamed soak — flat RSS, clean audit.
+
+Two gates on the streaming traffic generator
+(:mod:`repro.workloads.streams`):
+
+1. **Flat memory at scale** — drain a two-million-flow tenant-mix
+   stream end to end and sample the process RSS along the way.  The
+   stream holds one look-ahead flow per source, so resident memory must
+   stay flat no matter how many flows pass through; the materialized
+   equivalent would hold ~hundreds of MB of ``Flow`` objects.
+2. **Validated streamed soak** — run the long-horizon soak scenario
+   from a stream under the invariant auditor and require zero
+   violations and full completion, i.e. lazy flow injection is
+   invisible to the transport machinery.
+
+The soak horizon scales with ``STREAM_SOAK_HORIZON`` (simulated
+seconds, default 600 for CI smoke); the acceptance-scale run is a
+manual ``STREAM_SOAK_HORIZON=86400`` session.  The 2M-flow generation
+gate always runs at full scale — it costs seconds.
+"""
+
+import os
+
+from repro.experiments.runner import run
+from repro.experiments.scenarios import soak_scenario
+from repro.transport.dctcp import Dctcp
+from repro.units import gbps
+from repro.workloads import TenantClass, tenant_mix_stream
+from repro.workloads.distributions import MEMCACHED_W1, WEB_SEARCH
+from repro.workloads.patterns import all_to_all
+
+N_FLOWS = 2_000_000
+RSS_SAMPLES = 8
+# generous: covers allocator noise and RNG/heap churn, while a
+# materialized 2M-flow list would blow through it 5-10x over
+MAX_RSS_GROWTH_MB = 64
+
+SOAK_HORIZON = float(os.environ.get("STREAM_SOAK_HORIZON", "600"))
+
+
+def _rss_mb() -> float:
+    with open("/proc/self/statm") as fh:
+        pages = int(fh.read().split()[1])
+    return pages * os.sysconf("SC_PAGE_SIZE") / 1e6
+
+
+def _drain_with_rss(stream, n_flows):
+    """Drain ``stream`` fully, sampling RSS at regular intervals."""
+    samples = []
+    step = n_flows // RSS_SAMPLES
+    count = 0
+    for _ in stream:
+        count += 1
+        if count % step == 0:
+            samples.append(_rss_mb())
+    return count, samples
+
+
+def _build_two_million_stream():
+    mix = [TenantClass("memcached-w1", MEMCACHED_W1, 3.0),
+           TenantClass("web-search", WEB_SEARCH, 1.0, size_cap=1_000_000)]
+    return tenant_mix_stream(mix, all_to_all(range(16)), load=0.5,
+                             link_rate=gbps(40), n_flows=N_FLOWS,
+                             n_senders=16, seed=1)
+
+
+def test_two_million_flow_stream_rss_flat(benchmark):
+    def drain():
+        return _drain_with_rss(_build_two_million_stream(), N_FLOWS)
+
+    count, samples = benchmark.pedantic(drain, rounds=1, iterations=1)
+    assert count == N_FLOWS
+    growth = max(samples) - samples[0]
+    print(f"\n=== Extension: 2M-flow stream RSS ===")
+    print(f"rss samples (MB): {[f'{s:.1f}' for s in samples]}")
+    print(f"growth after first sample: {growth:.1f}MB")
+    assert growth < MAX_RSS_GROWTH_MB, (
+        f"stream drain RSS grew {growth:.1f}MB over {N_FLOWS} flows — "
+        f"the generator is accumulating flows")
+
+
+def test_validated_streamed_soak_clean(benchmark):
+    def soak():
+        scenario = soak_scenario("stream-soak", horizon=SOAK_HORIZON,
+                                 stream=True)
+        return run(Dctcp(), scenario, validate=True)
+
+    result = benchmark.pedantic(soak, rounds=1, iterations=1)
+    print(f"\n=== Extension: validated streamed soak "
+          f"(horizon={SOAK_HORIZON:g}s) ===")
+    print(f"flows: {result.completed}/{result.health.n_flows}  "
+          f"events: {result.wall_events}  "
+          f"validation: {result.validation.describe()}")
+    assert result.validation.ok, result.validation.describe()
+    assert result.completed == result.health.n_flows
+    assert not result.health.stalled

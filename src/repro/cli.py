@@ -23,6 +23,8 @@ Examples
     python -m repro run --schemes ppt dctcp homa swift --jobs 4
     python -m repro run --schemes ppt dctcp \
         --fault flap:leaf0->spine0:0.005:0.002:0.004:3 --health
+    python -m repro run --schemes ppt --stream --flows 20000 \
+        --tenant-mix web-search:3,memcached-w1:1 --load-shape diurnal
     python -m repro figure fig12 --workload data-mining
     python -m repro list-schemes
 """
@@ -63,6 +65,7 @@ from .transport.tcp10 import Tcp10
 from .transport.timely import Timely
 from .validate import InvariantViolation
 from .workloads.distributions import WORKLOADS
+from .workloads.streams import parse_load_shape, parse_tenant_mix
 
 SCHEME_FACTORIES: Dict[str, Callable[[], object]] = {
     "ppt": Ppt,
@@ -250,20 +253,34 @@ def _cmd_run(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    try:
+        load_shape = (parse_load_shape(args.load_shape)
+                      if args.load_shape else None)
+        tenants = (parse_tenant_mix(args.tenant_mix)
+                   if args.tenant_mix else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The streamed source and the materialized list are bit-identical,
+    # so --stream composes freely with checkpoints, faults and --jobs
+    # (each worker builds its own stream from the picklable spec).
+    streaming = dict(stream=args.stream, load_shape=load_shape,
+                     tenants=tenants, arrivals=args.arrivals)
+
     def make_scenario():
         if args.soak is not None:
             return soak_scenario(
                 "cli-soak", cdf, horizon=args.soak, seed=args.seed,
-                faults=faults, event_budget=args.event_budget)
+                faults=faults, event_budget=args.event_budget, **streaming)
         if args.pattern == "incast":
             return incast_scenario(
                 "cli", cdf, n_senders=args.incast_senders, load=args.load,
                 n_flows=args.flows, size_cap=args.size_cap, seed=args.seed,
-                faults=faults, event_budget=args.event_budget)
+                faults=faults, event_budget=args.event_budget, **streaming)
         return all_to_all_scenario(
             "cli", cdf, load=args.load, n_flows=args.flows,
             size_cap=args.size_cap, seed=args.seed,
-            faults=faults, event_budget=args.event_budget)
+            faults=faults, event_budget=args.event_budget, **streaming)
 
     supervised = args.task_timeout is not None or args.retries is not None
     failed_cells = []
@@ -371,6 +388,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--pattern", choices=["all-to-all", "incast"],
                        default="all-to-all")
     run_p.add_argument("--incast-senders", type=int, default=16)
+    run_p.add_argument("--stream", action="store_true",
+                       help="generate flows lazily from a constant-memory "
+                            "stream instead of materializing the list "
+                            "(bit-identical results for the same seed)")
+    run_p.add_argument("--load-shape", metavar="SPEC", default=None,
+                       help="modulate the arrival rate over time: "
+                            "constant, diurnal[:PERIOD[:DEPTH]] or "
+                            "onoff[:ON[:OFF[:OFF_LEVEL]]]")
+    run_p.add_argument("--tenant-mix", metavar="SPEC", default=None,
+                       help="mix several workload classes, e.g. "
+                            "'web-search:3,memcached-w1:1' "
+                            "(NAME:SHARE pairs against list-workloads names)")
+    run_p.add_argument("--arrivals", choices=["open", "closed"],
+                       default="open",
+                       help="open-loop Poisson arrivals (default) or a "
+                            "closed-loop fixed user pool with think times")
     run_p.add_argument(
         "--fault", action="append", metavar="SPEC",
         help="fault spec (repeatable): down:PORT:START:DURATION, "

@@ -87,7 +87,10 @@ class RunSummary:
             stats=result.stats,
             health=result.health,
             completed=result.completed,
-            n_flows=len(result.flows),
+            # health.n_flows is the run's true flow target: for a
+            # streamed scenario ``result.flows`` only holds what the
+            # stream emitted before the drain stopped.
+            n_flows=result.health.n_flows,
             wall_events=result.wall_events,
             telemetry=(result.telemetry.summary()
                        if result.telemetry is not None else None),
@@ -106,6 +109,10 @@ class GridTask:
     ``scenario_factory`` is called with ``params`` as keyword arguments
     inside the worker, so the (unpicklable) topology/flows/faults are
     built after the fork, exactly as the serial path would build them.
+    Streaming scenarios (``stream=True`` builders) get this for free:
+    the cell ships only the factory + params, and the worker constructs
+    its own :class:`~repro.workloads.FlowStream` from that picklable
+    spec — no flow list ever crosses the pipe.
     """
 
     scheme_factory: Callable[[], Scheme]

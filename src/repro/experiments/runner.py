@@ -25,6 +25,7 @@ is what makes the two-pass *hypothetical DCTCP* construction
 
 from __future__ import annotations
 
+import functools
 import gc
 import time as _time
 from dataclasses import dataclass, field
@@ -44,6 +45,7 @@ from ..sim.network import Network
 from ..sim.topology import Topology
 from ..transport.base import Flow, Scheme, TransportConfig, TransportContext
 from ..validate import RunAuditor, ValidationReport
+from ..workloads.streams import FlowStream
 
 
 @dataclass
@@ -51,15 +53,20 @@ class Scenario:
     """A reproducible experiment setup.
 
     ``build_topology`` returns a fresh :class:`Topology` (with its own
-    simulator);  ``build_flows`` receives that topology and returns the
-    flow list (so patterns can reference real host ids and rates).
-    ``faults`` re-runs the identical workload under a deterministic
-    fault schedule; ``event_budget`` bounds runaway runs.
+    simulator);  ``build_flows`` receives that topology and returns
+    either a flow **list** or a :class:`~repro.workloads.FlowStream`
+    (so patterns can reference real host ids and rates).  A list is
+    scheduled up front; a stream is pulled lazily — one look-ahead flow
+    at a time — so memory stays flat regardless of flow count, and for
+    the same seed the streamed run is bit-identical to the materialized
+    one (see ``docs/workloads.md``).  ``faults`` re-runs the identical
+    workload under a deterministic fault schedule; ``event_budget``
+    bounds runaway runs.
     """
 
     name: str
     build_topology: Callable[[], Topology]
-    build_flows: Callable[[Topology], List[Flow]]
+    build_flows: Callable[[Topology], Union[List[Flow], FlowStream]]
     config: TransportConfig = field(default_factory=TransportConfig)
     max_time: float = 10.0  # simulated-seconds safety stop
     faults: Optional[FaultPlan] = None
@@ -233,6 +240,33 @@ def _observed_start(scheme: Scheme, flow: Flow, ctx: TransportContext,
     scheme.start_flow(flow, ctx)
 
 
+class _FlowStarts:
+    """Adapts a :class:`~repro.workloads.FlowStream` into the
+    ``(time, fn, args)`` entries a lazy chain consumes.
+
+    Every pulled flow is appended to ``sink`` — the run's shared
+    ``flows`` list — so results, telemetry and the stall watchdog see
+    exactly the flows that have entered the simulation.  A plain class
+    (not a generator) because the chain pickles into checkpoints and
+    generators do not survive ``pickle``.
+    """
+
+    def __init__(self, stream: FlowStream, sink: List[Flow],
+                 fn: Callable, extra_args: tuple) -> None:
+        self._stream = iter(stream)
+        self._sink = sink
+        self._fn = fn
+        self._extra = extra_args
+
+    def __iter__(self) -> "_FlowStarts":
+        return self
+
+    def __next__(self) -> tuple:
+        flow = next(self._stream)
+        self._sink.append(flow)
+        return (flow.start_time, self._fn, (flow,) + self._extra)
+
+
 def _stop_instruments(obj) -> None:
     """Recursively ``stop()`` whatever an ``instruments`` callback (or a
     figure driver) hung onto: a sampler, or any nesting of
@@ -331,7 +365,13 @@ def run(
     faults: Optional[ActiveFaults] = None
     if scenario.faults is not None:
         faults = scenario.faults.apply(topo.network, topo.sim)
-    flows = scenario.build_flows(topo)
+    flow_source = scenario.build_flows(topo)
+    if isinstance(flow_source, FlowStream):
+        stream, flows = flow_source, []
+        total_flows = stream.n_flows
+    else:
+        stream, flows = None, flow_source
+        total_flows = len(flows)
     on_complete = None
     if telemetry is not None:
         telemetry.attach(topo.sim, topo.network, faults)
@@ -349,8 +389,19 @@ def run(
     # One chain entry per flow start instead of one heap event each:
     # seqs are claimed in the same order the schedule_at loop used to,
     # so firing order is bit-identical while the heap holds a single
-    # entry for the whole start schedule.
-    if telemetry is None:
+    # entry for the whole start schedule.  A FlowStream goes through
+    # the lazy variant — same (time, seq) keys (the seq block is
+    # reserved up front for bounded streams), but flows are pulled one
+    # look-ahead at a time, so the start schedule never materializes.
+    if stream is not None:
+        if telemetry is None:
+            start_fn, extra = scheme.start_flow, (ctx,)
+        else:
+            start_fn = functools.partial(_observed_start, scheme)
+            extra = (ctx, telemetry)
+        topo.sim.schedule_lazy_chain(
+            _FlowStarts(stream, flows, start_fn, extra), count=total_flows)
+    elif telemetry is None:
         topo.sim.schedule_chain(
             (flow.start_time, scheme.start_flow, (flow, ctx))
             for flow in flows)
@@ -368,6 +419,7 @@ def run(
         stall_slices=scenario.stall_slices,
         event_budget=scenario.event_budget,
         max_rto=getattr(scenario.config, "max_rto", 0.25),
+        total_flows=total_flows,
     )
     return _finish_run(state, checkpoint_every, checkpoint_path)
 
@@ -416,8 +468,17 @@ def _drain(state: RunState, checkpoint_every: Optional[float] = None,
     sim, ctx, flows = state.sim, state.ctx, state.flows
     faults, network = state.faults, state.topo.network
     telemetry, auditor = state.telemetry, state.auditor
-    n_flows = len(flows)
-    health = RunHealth(n_flows=n_flows)
+    # total_flows is the run's target: len(flows) for a materialized
+    # list, the stream's declared total for a streamed run (where
+    # ``flows`` only holds what has been pulled so far), or None for an
+    # unbounded stream — which can only end at max_time or heap
+    # exhaustion, so its target is infinite and its reported n_flows is
+    # whatever was pulled.
+    total = state.total_flows if state.total_flows is not None \
+        else len(flows)
+    target = state.total_flows if state.total_flows is not None \
+        else float("inf")
+    health = RunHealth(n_flows=total)
     if faults is not None:
         health.fault_windows = faults.describe_windows()
 
@@ -444,7 +505,7 @@ def _drain(state: RunState, checkpoint_every: Optional[float] = None,
     if gc_was_enabled:
         gc.disable()
     try:
-        while len(ctx.completed) < n_flows and state.t < state.max_time:
+        while len(ctx.completed) < target and state.t < state.max_time:
             # clamp the final slice: ``t`` stepping past ``max_time``
             # would let the run simulate (and bill) up to one slice
             # beyond the scenario's stated horizon
@@ -509,15 +570,19 @@ def _drain(state: RunState, checkpoint_every: Optional[float] = None,
     health.sim_time = sim.now
     health.live_pending = sim.live_pending
     health.peak_pending = sim.peak_pending
+    if state.total_flows is None:
+        # unbounded stream: report against what actually entered the run
+        health.n_flows = len(flows)
 
-    if health.completed < n_flows and not health.event_budget_exceeded:
+    if health.completed < health.n_flows \
+            and not health.event_budget_exceeded:
         quiet_for = state.t - state.last_progress_t
         if heap_empty:
             health.stalled = True
             health.stall_time = sim.now
             health.stall_reason = (
                 f"event heap empty with "
-                f"{n_flows - health.completed} flow(s) incomplete")
+                f"{health.n_flows - health.completed} flow(s) incomplete")
         elif watchdog_tripped or (
                 quiet_for >= stall_window
                 and any(f.start_time <= sim.now and not f.completed

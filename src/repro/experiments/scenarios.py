@@ -16,7 +16,7 @@ mean back into the Poisson arrival rate (see
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..faults.plan import FaultPlan, LinkDown, PacketLoss, RateDegrade
 from ..sim.network import QueueConfig
@@ -25,7 +25,11 @@ from ..transport.base import Flow, TransportConfig
 from ..units import gbps, kb, mb, us
 from ..workloads.distributions import EmpiricalCdf, WEB_SEARCH
 from ..workloads.generator import poisson_flows
-from ..workloads.patterns import all_to_all, incast
+from ..workloads.patterns import PairSampler, all_to_all, incast
+from ..workloads.streams import FlowStream, LoadShape, TenantClass, flow_stream
+
+#: The return type every ``build_flows`` closure may now produce.
+FlowSource = Union[List[Flow], FlowStream]
 from .runner import Scenario
 
 # ---------------------------------------------------------------------------
@@ -141,15 +145,22 @@ def dumbbell_scenario(
     seed: int = 13,
     max_time: float = 10.0,
     event_budget: Optional[int] = None,
+    stream: bool = False,
+    load_shape: Optional[LoadShape] = None,
+    tenants: Optional[Sequence[TenantClass]] = None,
+    arrivals: str = "open",
+    closed_users: int = 8,
 ) -> Scenario:
     """Poisson traffic host0 -> host1 across the dumbbell bottleneck."""
     fabric = dumbbell_fabric(bottleneck_rate=bottleneck_rate)
 
-    def build_flows(topo: Topology) -> List[Flow]:
-        return poisson_flows(
+    def build_flows(topo: Topology) -> FlowSource:
+        return _flow_source(
             incast([0], 1), cdf,
             load=load, link_rate=topo.edge_rate, n_flows=n_flows,
-            n_senders=1, seed=seed, size_cap=size_cap)
+            n_senders=1, seed=seed, size_cap=size_cap,
+            stream=stream, load_shape=load_shape, tenants=tenants,
+            arrivals=arrivals, closed_users=closed_users)
 
     return Scenario(name, fabric, build_flows,
                     config=config or sim_config(), max_time=max_time,
@@ -167,6 +178,52 @@ def micro_fabric(rate: float = gbps(40),
         return star(3, rate=rate, prop_delay=us(5), qcfg=qcfg)
 
     return build
+
+
+# ---------------------------------------------------------------------------
+# flow sources: one materialized/streaming switch for every builder
+# ---------------------------------------------------------------------------
+
+
+def _flow_source(
+    pattern: PairSampler,
+    cdf: EmpiricalCdf,
+    *,
+    load: float,
+    link_rate: float,
+    n_flows: int,
+    n_senders: int,
+    seed: int,
+    size_cap: Optional[int],
+    stream: bool,
+    load_shape: Optional[LoadShape],
+    tenants: Optional[Sequence[TenantClass]],
+    arrivals: str,
+    closed_users: int,
+):
+    """Build a scenario's flow source.
+
+    ``stream=True`` returns a constant-memory
+    :class:`~repro.workloads.FlowStream` the runner pulls lazily —
+    bit-identical to the materialized list for the same seed.  The
+    richer generator features (tenant mixes, load shapes, closed-loop
+    arrivals) are available in both modes: without ``stream`` the
+    stream is simply drained into a list up front.  The plain
+    open-loop, unshaped, single-class case keeps going through
+    :func:`poisson_flows`, the reference implementation the stream is
+    gated against.
+    """
+    plain = (tenants is None and load_shape is None and arrivals == "open")
+    if not stream and plain:
+        return poisson_flows(pattern, cdf, load=load, link_rate=link_rate,
+                             n_flows=n_flows, n_senders=n_senders, seed=seed,
+                             size_cap=size_cap)
+    source = flow_stream(pattern, cdf, load=load, link_rate=link_rate,
+                         n_flows=n_flows, n_senders=n_senders, seed=seed,
+                         size_cap=size_cap, shape=load_shape,
+                         tenants=tenants, arrivals=arrivals,
+                         closed_users=closed_users)
+    return source if stream else source.materialize()
 
 
 # ---------------------------------------------------------------------------
@@ -210,15 +267,22 @@ def all_to_all_scenario(
     max_time: float = 10.0,
     faults: Optional[FaultPlan] = None,
     event_budget: Optional[int] = None,
+    stream: bool = False,
+    load_shape: Optional[LoadShape] = None,
+    tenants: Optional[Sequence[TenantClass]] = None,
+    arrivals: str = "open",
+    closed_users: int = 8,
 ) -> Scenario:
     """All-to-all Poisson traffic on a fabric (the §6.2 shape)."""
     fabric = fabric or sim_fabric()
 
-    def build_flows(topo: Topology) -> List[Flow]:
-        return poisson_flows(
+    def build_flows(topo: Topology) -> FlowSource:
+        return _flow_source(
             all_to_all(topo.host_ids()), cdf,
             load=load, link_rate=topo.edge_rate, n_flows=n_flows,
-            n_senders=topo.n_hosts, seed=seed, size_cap=size_cap)
+            n_senders=topo.n_hosts, seed=seed, size_cap=size_cap,
+            stream=stream, load_shape=load_shape, tenants=tenants,
+            arrivals=arrivals, closed_users=closed_users)
 
     return Scenario(name, fabric, build_flows,
                     config=config or sim_config(), max_time=max_time,
@@ -240,16 +304,23 @@ def incast_scenario(
     receiver: int = 0,
     faults: Optional[FaultPlan] = None,
     event_budget: Optional[int] = None,
+    stream: bool = False,
+    load_shape: Optional[LoadShape] = None,
+    tenants: Optional[Sequence[TenantClass]] = None,
+    arrivals: str = "open",
+    closed_users: int = 8,
 ) -> Scenario:
     """N-to-1 incast: the load is defined against the receiver downlink."""
     fabric = fabric or sim_fabric()
 
-    def build_flows(topo: Topology) -> List[Flow]:
+    def build_flows(topo: Topology) -> FlowSource:
         senders = [h for h in topo.host_ids() if h != receiver][:n_senders]
-        return poisson_flows(
+        return _flow_source(
             incast(senders, receiver), cdf,
             load=load, link_rate=topo.edge_rate, n_flows=n_flows,
-            n_senders=1, seed=seed, size_cap=size_cap)
+            n_senders=1, seed=seed, size_cap=size_cap,
+            stream=stream, load_shape=load_shape, tenants=tenants,
+            arrivals=arrivals, closed_users=closed_users)
 
     return Scenario(name, fabric, build_flows,
                     config=config or sim_config(), max_time=max_time,
@@ -269,15 +340,22 @@ def two_to_one_scenario(
     size_cap: Optional[int] = 3_000_000,
     seed: int = 3,
     max_time: float = 30.0,
+    stream: bool = False,
+    load_shape: Optional[LoadShape] = None,
+    tenants: Optional[Sequence[TenantClass]] = None,
+    arrivals: str = "open",
+    closed_users: int = 8,
 ) -> Scenario:
     """The Fig 1/20/28/29 microbenchmark: two senders, one receiver."""
     fabric = micro_fabric(rate, buffer_bytes, k_high, k_low)
 
-    def build_flows(topo: Topology) -> List[Flow]:
-        return poisson_flows(
+    def build_flows(topo: Topology) -> FlowSource:
+        return _flow_source(
             incast([0, 1], 2), cdf,
             load=load, link_rate=topo.edge_rate, n_flows=n_flows,
-            n_senders=1, seed=seed, size_cap=size_cap)
+            n_senders=1, seed=seed, size_cap=size_cap,
+            stream=stream, load_shape=load_shape, tenants=tenants,
+            arrivals=arrivals, closed_users=closed_users)
 
     return Scenario(name, fabric, build_flows, config=sim_config(),
                     max_time=max_time)
@@ -293,11 +371,16 @@ def testbed_scenario(
     size_cap: Optional[int] = DEFAULT_SIZE_CAP,
     seed: int = 5,
     max_time: float = 60.0,
+    stream: bool = False,
+    load_shape: Optional[LoadShape] = None,
+    tenants: Optional[Sequence[TenantClass]] = None,
+    arrivals: str = "open",
+    closed_users: int = 8,
 ) -> Scenario:
     """The §6.1 testbed experiments: 15 hosts, 10G star, RTOmin 10ms."""
     fabric = testbed_fabric()
 
-    def build_flows(topo: Topology) -> List[Flow]:
+    def build_flows(topo: Topology) -> FlowSource:
         hosts = topo.host_ids()
         if pattern == "incast":
             pair = incast(hosts[1:], hosts[0])
@@ -305,9 +388,12 @@ def testbed_scenario(
         else:
             pair = all_to_all(hosts)
             n_senders = topo.n_hosts
-        return poisson_flows(pair, cdf, load=load, link_rate=topo.edge_rate,
-                             n_flows=n_flows, n_senders=n_senders, seed=seed,
-                             size_cap=size_cap)
+        return _flow_source(pair, cdf, load=load, link_rate=topo.edge_rate,
+                            n_flows=n_flows, n_senders=n_senders, seed=seed,
+                            size_cap=size_cap,
+                            stream=stream, load_shape=load_shape,
+                            tenants=tenants, arrivals=arrivals,
+                            closed_users=closed_users)
 
     return Scenario(name, fabric, build_flows, config=testbed_config(),
                     max_time=max_time)
@@ -372,6 +458,11 @@ def soak_scenario(
     faults: Optional[FaultPlan] = None,
     config: Optional[TransportConfig] = None,
     event_budget: Optional[int] = None,
+    stream: bool = False,
+    load_shape: Optional[LoadShape] = None,
+    tenants: Optional[Sequence[TenantClass]] = None,
+    arrivals: str = "open",
+    closed_users: int = 8,
 ) -> Scenario:
     """Hours of simulated time on a slow star, faults firing throughout.
 
@@ -392,17 +483,19 @@ def soak_scenario(
         faults = soak_fault_plan(horizon, period=fault_period,
                                  seed=fault_seed)
 
-    def build_flows(topo: Topology) -> List[Flow]:
+    def build_flows(topo: Topology) -> FlowSource:
         hosts = topo.host_ids()
         mean_size = cdf.mean(size_cap)
-        # arrival rate poisson_flows will use (flows/sec); size it so
+        # arrival rate the generator will use (flows/sec); size it so
         # arrivals span ~90% of the horizon
         arrival_rate = load * len(hosts) * topo.edge_rate / (8.0 * mean_size)
         n_flows = max(2, int(arrival_rate * horizon * 0.9))
-        return poisson_flows(
+        return _flow_source(
             all_to_all(hosts), cdf,
             load=load, link_rate=topo.edge_rate, n_flows=n_flows,
-            n_senders=len(hosts), seed=seed, size_cap=size_cap)
+            n_senders=len(hosts), seed=seed, size_cap=size_cap,
+            stream=stream, load_shape=load_shape, tenants=tenants,
+            arrivals=arrivals, closed_users=closed_users)
 
     # The default 1ms RTO assumes a 40G fabric; at soak rates a single
     # 1500B serialization takes longer than that, so every un-ACKed

@@ -61,6 +61,13 @@ def sweep(
     and results are merged in grid order, so the returned points are
     bit-identical to a serial run — see :mod:`repro.experiments.parallel`
     for the determinism contract.
+
+    For large sweeps pass ``stream=True`` in each variant (every
+    builder in :mod:`repro.experiments.scenarios` accepts it): each
+    worker then pulls flows lazily from a constant-memory
+    :class:`~repro.workloads.FlowStream` built in-process instead of
+    materializing the whole workload list up front.  The results are
+    bit-identical either way.
     """
     tasks = scheme_grid(scheme_factories, scenario_factory, variants)
     summaries = run_grid(tasks, jobs=jobs, progress=progress)

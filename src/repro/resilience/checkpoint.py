@@ -54,7 +54,10 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
-CHECKPOINT_VERSION = 1
+# v2: RunState grew ``total_flows`` (streaming flow sources — ``flows``
+# now only holds what a stream has already emitted, and the lazy start
+# chain, with its half-consumed FlowStream, rides inside the sim graph)
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
@@ -83,6 +86,13 @@ class RunState:
     telemetry: Any = None
     auditor: Any = None
 
+    # the run's flow target: len(flows) for a materialized workload,
+    # the FlowStream's declared total for a streamed one (``flows``
+    # then only holds the prefix pulled so far — the un-consumed stream
+    # itself travels inside the sim graph via the lazy start chain),
+    # None for an unbounded stream
+    total_flows: Optional[int] = None
+
     # drain limits copied off the Scenario (builders are not picklable)
     max_time: float = 10.0
     stall_slices: int = 40
@@ -110,7 +120,8 @@ class RunState:
             "sim_time": self.sim.now,
             "events_run": self.sim.events_run,
             "completed": len(self.ctx.completed),
-            "n_flows": len(self.flows),
+            "n_flows": (self.total_flows if self.total_flows is not None
+                        else len(self.flows)),
             "checkpoints_taken": self.checkpoints_taken,
         }
 

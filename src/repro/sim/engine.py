@@ -230,6 +230,23 @@ class Simulator:
         self._seq += 1
         return self._seq
 
+    def reserve_seq_block(self, n: int) -> int:
+        """Claim ``n`` consecutive seqs at once; returns the first.
+
+        The streaming flow scheduler (:class:`LazyEventChain` with a
+        declared ``count``) reserves its whole seq block up front —
+        exactly the counter values a materialized :class:`EventChain`
+        over the same entries would have claimed — then consumes them
+        one by one as the stream is pulled.  That is what makes a
+        streamed run bit-identical to a materialized one: same-instant
+        tie-breaking cannot tell the two apart.
+        """
+        if n < 0:
+            raise ValueError(f"cannot reserve {n} seqs")
+        first = self._seq + 1
+        self._seq += n
+        return first
+
     def schedule_reserved(self, time: float, seq: int,
                           fn: Callable[..., Any], *args: Any) -> Event:
         """Insert an event at absolute ``time`` with a pre-reserved seq.
@@ -266,6 +283,20 @@ class Simulator:
         chain is bit-identical to scheduling the events individually.
         """
         return EventChain(self, entries)
+
+    def schedule_lazy_chain(self, entries: Iterable[Tuple],
+                            count: Optional[int] = None) -> "LazyEventChain":
+        """Like :meth:`schedule_chain`, but ``entries`` is pulled lazily.
+
+        Entries must arrive in non-decreasing time order (the
+        materialized chain sorts; a lazy one cannot).  ``count``, when
+        given, must be the exact number of entries the source will
+        yield: the chain pre-reserves that many seqs so firing order is
+        bit-identical to the materialized chain over the same entries.
+        ``count=None`` claims seqs lazily — for unbounded sources,
+        where no materialized counterpart exists to be identical to.
+        """
+        return LazyEventChain(self, entries, count)
 
     # -- execution ------------------------------------------------------
 
@@ -581,3 +612,105 @@ class EventChain:
     def __len__(self) -> int:
         """Entries still to fire."""
         return len(self._entries) - self._next
+
+
+class LazyEventChain:
+    """An :class:`EventChain` whose entries are pulled on demand.
+
+    The chain holds ONE look-ahead entry (armed in the heap) plus the
+    un-consumed source iterator — constant memory no matter how many
+    entries the source will ever yield.  This is what lets the runner
+    drive a multi-million-flow :class:`~repro.workloads.FlowStream`
+    without materializing the start schedule.
+
+    Determinism: with a declared ``count`` the chain reserves its whole
+    seq block at construction (see :meth:`Simulator.reserve_seq_block`),
+    so every entry fires with the exact ``(time, seq)`` key the
+    materialized chain would have used.  Without a count, seqs are
+    claimed at arm time — still deterministic run to run, but only
+    comparable to another lazy run.
+
+    The source must be picklable if the run is to be checkpointed: the
+    chain sits in the simulator's object graph (via its armed head
+    event), so a snapshot carries the iterator — and its RNG/cursor
+    state — along, and a resumed run continues the stream exactly where
+    it stopped.
+    """
+
+    __slots__ = ("sim", "_entries", "_next_seq", "_seqs_left", "_current",
+                 "_last_time", "head_event")
+
+    def __init__(self, sim: Simulator, entries: Iterable[Tuple],
+                 count: Optional[int] = None) -> None:
+        self.sim = sim
+        self._entries = iter(entries)
+        if count is not None:
+            self._next_seq = sim.reserve_seq_block(count)
+            self._seqs_left = count
+        else:
+            self._next_seq = None
+            self._seqs_left = None
+        self._current: Optional[Tuple] = None
+        self._last_time: Optional[float] = None
+        self.head_event: Optional[Event] = None
+        self._arm()
+
+    def _arm(self) -> None:
+        source = self._entries
+        entry = None if source is None else next(source, None)
+        if entry is None:
+            if self._seqs_left:
+                raise ValueError(
+                    f"lazy chain source ended {self._seqs_left} entries "
+                    f"short of its declared count")
+            self._current = None
+            self._entries = None
+            self.head_event = None
+            return
+        time, fn, args = entry
+        sim = self.sim
+        delay = time - sim.now
+        if delay < 0:
+            if delay < sim.NEGATIVE_DELAY_TOLERANCE:
+                raise ValueError(
+                    f"cannot schedule into the past (delay={delay})")
+            time = sim.now
+        if self._last_time is not None and time < self._last_time:
+            raise ValueError(
+                f"lazy chain entries must be non-decreasing in time "
+                f"({time} < {self._last_time})")
+        self._last_time = time
+        if self._seqs_left is not None:
+            if self._seqs_left == 0:
+                raise ValueError(
+                    "lazy chain source yielded more entries than its "
+                    "declared count")
+            seq = self._next_seq
+            self._next_seq += 1
+            self._seqs_left -= 1
+        else:
+            seq = sim.reserve_seq()
+        self._current = (fn, args)
+        self.head_event = sim.schedule_reserved(time, seq, self._fire)
+
+    def _fire(self) -> None:
+        # arm the successor BEFORE the callback, exactly like EventChain:
+        # a non-exhausted chain always has its head in the heap
+        fn, args = self._current
+        self._arm()
+        fn(*args)
+
+    def cancel(self) -> None:
+        """Stop the chain: no remaining entry will fire, the source is
+        dropped un-consumed."""
+        if self.head_event is not None:
+            self.head_event.cancel()
+            self.head_event = None
+        self._current = None
+        self._entries = None
+        self._seqs_left = 0 if self._seqs_left is not None else None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the source has been fully consumed and fired."""
+        return self.head_event is None

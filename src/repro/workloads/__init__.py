@@ -1,4 +1,6 @@
-"""Workloads: flow-size distributions, traffic patterns, Poisson arrivals."""
+"""Workloads: flow-size distributions, traffic patterns, Poisson arrivals
+(materialized via :func:`poisson_flows` or constant-memory via
+:mod:`~repro.workloads.streams` — see ``docs/workloads.md``)."""
 
 from .distributions import (
     DATA_MINING,
@@ -11,6 +13,22 @@ from .distributions import (
     sample_sizes,
 )
 from .generator import poisson_flows
+from .streams import (
+    ClosedLoopStream,
+    ConstantShape,
+    DiurnalShape,
+    FlowStream,
+    LoadShape,
+    MaterializedStream,
+    MergedStream,
+    OnOffShape,
+    PoissonFlowStream,
+    TenantClass,
+    flow_stream,
+    parse_load_shape,
+    parse_tenant_mix,
+    tenant_mix_stream,
+)
 from .tracefile import (
     TraceFormatError,
     load_trace,
@@ -24,4 +42,8 @@ __all__ = [
     "MEMCACHED_ETC", "YOUTUBE_HTTP", "WORKLOADS", "sample_sizes",
     "poisson_flows", "all_to_all", "incast", "fixed_pairs", "permutation",
     "load_trace", "save_trace", "trace_scenario_flows", "TraceFormatError",
+    "FlowStream", "MaterializedStream", "PoissonFlowStream",
+    "ClosedLoopStream", "MergedStream", "TenantClass", "tenant_mix_stream",
+    "flow_stream", "LoadShape", "ConstantShape", "DiurnalShape",
+    "OnOffShape", "parse_load_shape", "parse_tenant_mix",
 ]

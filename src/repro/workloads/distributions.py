@@ -60,14 +60,27 @@ class EmpiricalCdf:
         return size
 
     def mean(self, cap: Optional[int] = None) -> float:
-        """Analytic mean under linear interpolation (optionally capped)."""
+        """Analytic mean under linear interpolation (optionally capped).
+
+        With a cap this is the exact ``E[min(S, cap)]`` of the sampler:
+        sizes are uniform on each segment, so a segment the cap
+        straddles contributes the uncapped trapezoid over the fraction
+        ``f = (cap - s0) / (s1 - s0)`` below the cap plus ``cap`` itself
+        over the remaining ``1 - f`` — clamping both trapezoid endpoints
+        to the cap (the old code) under-counted the capped portion and
+        made ``poisson_flows(size_cap=...)`` offer the wrong load.
+        """
         total = 0.0
         for i in range(1, len(self._sizes)):
             p = self._probs[i] - self._probs[i - 1]
             s0, s1 = self._sizes[i - 1], self._sizes[i]
-            if cap is not None:
-                s0, s1 = min(s0, cap), min(s1, cap)
-            total += p * (s0 + s1) / 2.0
+            if cap is None or cap >= s1:
+                total += p * (s0 + s1) / 2.0
+            elif cap <= s0:
+                total += p * cap
+            else:
+                f = (cap - s0) / (s1 - s0)
+                total += p * (f * (s0 + cap) / 2.0 + (1.0 - f) * cap)
         return total
 
     def fraction_below(self, size: float) -> float:

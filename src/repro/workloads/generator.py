@@ -53,8 +53,9 @@ def poisson_flows(
         host count for all-to-all).
     size_cap:
         Optional cap on sampled sizes — used by the scaled-down benchmark
-        scenarios; the capped mean is used for the arrival rate so the
-        *offered load* stays correct.
+        scenarios.  The arrival rate is derived from the exact capped
+        mean ``E[min(S, cap)]`` (see :meth:`EmpiricalCdf.mean`), so the
+        *offered load* stays correct under capping.
     """
     if not 0.0 < load <= 1.5:
         raise ValueError(f"load out of range: {load}")
@@ -70,6 +71,13 @@ def poisson_flows(
     for i in range(n_flows):
         now += rng.expovariate(1.0 / mean_gap) if i else 0.0
         src, dst = pattern(rng)
+        if src == dst:
+            # every shipped pattern guarantees src != dst, but a
+            # user-supplied sampler may not — a src==dst flow would sit
+            # in the runner forever (the receiver is its own sender)
+            raise ValueError(
+                f"pattern produced src == dst == {src} for flow "
+                f"{first_flow_id + i}")
         size = cdf.sample(rng, size_cap)
         flows.append(Flow(flow_id=first_flow_id + i, src=src, dst=dst,
                           size=size, start_time=now))

@@ -8,64 +8,99 @@ source/destination pair per flow.  The paper uses:
 * **N-to-1 incast** — the 14-to-1 testbed pattern (§6.1.2) and the
   Fig. 23 incast sweep (N = 32..256 senders to one receiver),
 * **two-to-one** — the Fig. 1/20/28/29 microbenchmarks.
+
+Patterns are small picklable classes (the lowercase factory names are
+aliases kept for the original closure-based API): a
+:class:`~repro.workloads.streams.FlowStream` carries its pattern inside
+checkpoint snapshots and across worker-process boundaries, so the
+pattern must survive ``pickle`` — closures do not.  Every pattern is
+guaranteed to never produce ``src == dst``; :func:`permutation` raises
+instead of silently falling back to a mapping with fixed points.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Sequence, Tuple
 
 PairSampler = Callable[[random.Random], Tuple[int, int]]
 
 
-def all_to_all(hosts: Sequence[int]) -> PairSampler:
+class AllToAll:
     """Uniform random (src, dst) pairs with src != dst."""
-    hosts = list(hosts)
-    if len(hosts) < 2:
-        raise ValueError("all_to_all needs at least two hosts")
 
-    def sample(rng: random.Random) -> Tuple[int, int]:
+    def __init__(self, hosts: Sequence[int]):
+        self.hosts = list(hosts)
+        if len(self.hosts) < 2:
+            raise ValueError("all_to_all needs at least two hosts")
+
+    def __call__(self, rng: random.Random) -> Tuple[int, int]:
+        hosts = self.hosts
         src = rng.choice(hosts)
         dst = rng.choice(hosts)
         while dst == src:
             dst = rng.choice(hosts)
         return src, dst
 
-    return sample
 
-
-def incast(senders: Sequence[int], receiver: int) -> PairSampler:
+class Incast:
     """Random sender from ``senders``, fixed ``receiver``."""
-    senders = [h for h in senders if h != receiver]
-    if not senders:
-        raise ValueError("incast needs at least one sender != receiver")
 
-    def sample(rng: random.Random) -> Tuple[int, int]:
-        return rng.choice(senders), receiver
+    def __init__(self, senders: Sequence[int], receiver: int):
+        self.senders = [h for h in senders if h != receiver]
+        self.receiver = receiver
+        if not self.senders:
+            raise ValueError("incast needs at least one sender != receiver")
 
-    return sample
+    def __call__(self, rng: random.Random) -> Tuple[int, int]:
+        return rng.choice(self.senders), self.receiver
 
 
-def fixed_pairs(pairs: Sequence[Tuple[int, int]]) -> PairSampler:
+class FixedPairs:
     """Draw uniformly from an explicit pair list (e.g. permutations)."""
-    pairs = list(pairs)
-    if not pairs:
-        raise ValueError("fixed_pairs needs at least one pair")
 
-    def sample(rng: random.Random) -> Tuple[int, int]:
-        return pairs[rng.randrange(len(pairs))]
+    def __init__(self, pairs: Sequence[Tuple[int, int]]):
+        self.pairs = list(pairs)
+        if not self.pairs:
+            raise ValueError("fixed_pairs needs at least one pair")
+        for src, dst in self.pairs:
+            if src == dst:
+                raise ValueError(f"fixed_pairs: src == dst == {src}")
 
-    return sample
+    def __call__(self, rng: random.Random) -> Tuple[int, int]:
+        return self.pairs[rng.randrange(len(self.pairs))]
 
 
-def permutation(hosts: Sequence[int], seed: int = 0) -> PairSampler:
-    """A fixed random permutation: host i always sends to perm(i)."""
-    hosts = list(hosts)
-    rng = random.Random(seed)
-    shuffled = hosts[:]
-    # derangement-ish: reshuffle until no fixed points (bounded retries)
-    for _ in range(100):
-        rng.shuffle(shuffled)
-        if all(a != b for a, b in zip(hosts, shuffled)):
-            break
-    return fixed_pairs(list(zip(hosts, shuffled)))
+class Permutation(FixedPairs):
+    """A fixed random permutation: host i always sends to perm(i).
+
+    Raises :class:`ValueError` when fewer than two hosts are given or
+    when no derangement is found within the retry budget — a mapping
+    with fixed points would generate src==dst flows the runner can
+    never complete.
+    """
+
+    RETRIES = 100
+
+    def __init__(self, hosts: Sequence[int], seed: int = 0):
+        hosts = list(hosts)
+        if len(hosts) < 2:
+            raise ValueError("permutation needs at least two hosts")
+        rng = random.Random(seed)
+        shuffled = hosts[:]
+        for _ in range(self.RETRIES):
+            rng.shuffle(shuffled)
+            if all(a != b for a, b in zip(hosts, shuffled)):
+                break
+        else:
+            raise ValueError(
+                f"permutation: no derangement of {len(hosts)} hosts found "
+                f"in {self.RETRIES} shuffles (seed={seed})")
+        super().__init__(list(zip(hosts, shuffled)))
+
+
+# Original factory-function API; each returns a picklable instance.
+all_to_all = AllToAll
+incast = Incast
+fixed_pairs = FixedPairs
+permutation = Permutation

@@ -26,6 +26,13 @@ from ..transport.base import Flow
 
 REQUIRED_FIELDS = ("src", "dst", "size", "start_time")
 
+# Extensions both load_trace and save_trace treat as line-oriented JSON.
+# Keeping the two dispatchers on ONE table is what guarantees a
+# ``save_trace(flows, p); load_trace(p)`` round-trip for every suffix:
+# they used to disagree on ``.json`` (saved as CSV, loaded as JSONL), so
+# a ``.json`` round-trip failed to parse.
+JSONL_SUFFIXES = (".jsonl", ".ndjson", ".json")
+
 
 class TraceFormatError(ValueError):
     """Raised when a trace file is malformed."""
@@ -68,7 +75,7 @@ def _validate(flows: List[Flow]) -> List[Flow]:
 def load_trace(path: Union[str, Path]) -> List[Flow]:
     """Load a CSV or JSONL trace (dispatch on the file extension)."""
     path = Path(path)
-    if path.suffix.lower() in (".jsonl", ".ndjson", ".json"):
+    if path.suffix.lower() in JSONL_SUFFIXES:
         return load_jsonl(path)
     return load_csv(path)
 
@@ -113,10 +120,11 @@ def load_jsonl(path: Union[str, Path]) -> List[Flow]:
 
 
 def save_trace(flows: Iterable[Flow], path: Union[str, Path]) -> None:
-    """Save flows as CSV (with header) or JSONL, by extension."""
+    """Save flows as CSV (with header) or JSONL, dispatching on the file
+    extension exactly as :func:`load_trace` does."""
     path = Path(path)
     flows = list(flows)
-    if path.suffix.lower() in (".jsonl", ".ndjson"):
+    if path.suffix.lower() in JSONL_SUFFIXES:
         with open(path, "w") as handle:
             for flow in flows:
                 handle.write(json.dumps({

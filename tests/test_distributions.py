@@ -49,6 +49,58 @@ def test_capped_mean_consistent():
     assert empirical == pytest.approx(analytic, rel=0.1)
 
 
+class _FixedU:
+    """Stand-in RNG handing the sampler one preset uniform draw."""
+
+    def __init__(self, u):
+        self._u = u
+
+    def random(self):
+        return self._u
+
+
+def stratified_capped_mean(cdf, cap, n=50_000):
+    """Empirical capped-sample mean with stratified (midpoint) uniforms:
+    every draw goes through the *real* ``sample()`` path (interpolation,
+    int truncation, capping), but the u-grid kills Monte-Carlo noise so
+    a tight tolerance cannot flake."""
+    total = 0
+    for i in range(n):
+        total += cdf.sample(_FixedU((i + 0.5) / n), cap)
+    return total / n
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("cap", [5_000, 100_000, 2_000_000])
+def test_capped_mean_matches_empirical_within_half_percent(name, cap):
+    """The exact ``E[min(S, cap)]`` gate: every workload, three caps,
+    0.5% against the sampler's own capped empirical mean.  The old
+    clamp-both-endpoints formula missed this by up to ~10% on the
+    straddled segment."""
+    cdf = WORKLOADS[name]
+    assert cdf.mean(cap) == pytest.approx(
+        stratified_capped_mean(cdf, cap), rel=0.005)
+
+
+def test_capped_mean_straddling_segment_exact():
+    """Hand-checked E[min(S, cap)] on one uniform segment: S ~ U[100,
+    200], cap 150 -> 0.5*125 + 0.5*150 = 137.5.  The old formula
+    clamped both trapezoid endpoints and returned 125."""
+    cdf = EmpiricalCdf("seg", [(100, 0.0), (200, 1.0)])
+    assert cdf.mean(150) == pytest.approx(137.5)
+    assert cdf.mean(100) == pytest.approx(100.0)   # cap at segment floor
+    assert cdf.mean(200) == pytest.approx(150.0)   # cap beyond = uncapped
+    assert cdf.mean() == pytest.approx(150.0)
+
+
+def test_capped_mean_monotone_in_cap():
+    caps = [1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+    for cdf in WORKLOADS.values():
+        means = [cdf.mean(c) for c in caps]
+        assert means == sorted(means)
+        assert means[-1] <= cdf.mean()
+
+
 def test_sampling_deterministic_by_seed():
     assert sample_sizes(WEB_SEARCH, 100, seed=5) == sample_sizes(
         WEB_SEARCH, 100, seed=5)

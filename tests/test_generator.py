@@ -114,3 +114,50 @@ def test_permutation_is_derangement():
     for _ in range(100):
         src, dst = sampler(rng)
         assert src != dst
+
+
+def test_permutation_rejects_fewer_than_two_hosts():
+    with pytest.raises(ValueError, match="at least two hosts"):
+        permutation([4])
+    with pytest.raises(ValueError, match="at least two hosts"):
+        permutation([])
+
+
+def test_permutation_rejects_impossible_derangement():
+    # duplicate host ids: every shuffle of [1, 1] keeps a fixed point,
+    # so the retry budget must run out and raise instead of silently
+    # producing src == dst pairs
+    with pytest.raises(ValueError, match="no derangement"):
+        permutation([1, 1], seed=0)
+
+
+def test_fixed_pairs_rejects_self_pair():
+    with pytest.raises(ValueError, match="src == dst"):
+        fixed_pairs([(0, 1), (2, 2)])
+
+
+def test_poisson_flows_rejects_self_pair_pattern():
+    with pytest.raises(ValueError, match="src == dst"):
+        poisson_flows(lambda rng: (3, 3), WEB_SEARCH, load=0.5,
+                      link_rate=gbps(10), n_flows=5)
+
+
+@pytest.mark.parametrize("make", [
+    lambda: all_to_all(range(6)),
+    lambda: incast(range(5), receiver=4),
+    lambda: fixed_pairs([(0, 1), (2, 3)]),
+    lambda: permutation(range(8), seed=3),
+])
+def test_patterns_pickle_and_draw_identically(make):
+    """Patterns ride inside FlowStreams across checkpoint and worker
+    boundaries, so they must survive pickle with behaviour intact."""
+    import pickle
+
+    original = make()
+    clone = pickle.loads(pickle.dumps(original))
+
+    def draws(sampler):
+        rng = random.Random(9)
+        return [sampler(rng) for _ in range(50)]
+
+    assert draws(original) == draws(clone)

@@ -33,16 +33,19 @@ def assert_same(a, b):
            [(f.flow_id, f.src, f.dst, f.size, f.start_time) for f in b]
 
 
-def test_csv_round_trip(tmp_path):
-    path = tmp_path / "trace.csv"
+@pytest.mark.parametrize("suffix", ["csv", "jsonl", "ndjson", "json"])
+def test_round_trip_every_suffix(tmp_path, suffix):
+    """save_trace and load_trace must agree on the format for every
+    suffix — ``.json`` used to be written as CSV but read as JSONL, so
+    a file could never load back."""
+    path = tmp_path / f"trace.{suffix}"
     save_trace(sample_flows(), path)
     assert_same(load_trace(path), sample_flows())
-
-
-def test_jsonl_round_trip(tmp_path):
-    path = tmp_path / "trace.jsonl"
-    save_trace(sample_flows(), path)
-    assert_same(load_trace(path), sample_flows())
+    first = path.read_text().splitlines()[0]
+    if suffix == "csv":
+        assert first.startswith("flow_id")
+    else:
+        assert first.lstrip().startswith("{")
 
 
 def test_headerless_csv(tmp_path):
