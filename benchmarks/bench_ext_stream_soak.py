@@ -20,9 +20,16 @@ gate always runs at full scale — it costs seconds.
 """
 
 import os
+import tracemalloc
 
 from repro.experiments.runner import run
 from repro.experiments.scenarios import soak_scenario
+from repro.sim.engine import Simulator
+from repro.sim.link import Port
+from repro.sim.packet import Packet
+from repro.sim.queues import PriorityMux
+from repro.sim.routing import make_balancer
+from repro.sim.switch import Switch
 from repro.transport.dctcp import Dctcp
 from repro.units import gbps
 from repro.workloads import TenantClass, tenant_mix_stream
@@ -77,6 +84,80 @@ def test_two_million_flow_stream_rss_flat(benchmark):
     assert growth < MAX_RSS_GROWTH_MB, (
         f"stream drain RSS grew {growth:.1f}MB over {N_FLOWS} flows — "
         f"the generator is accumulating flows")
+
+
+N_SWITCH_FLOWS = 200_000
+# per-flow ECMP and spray hold ZERO per-flow switch state after the
+# unbounded `_ecmp_cache` removal; the allowance covers counter churn
+MAX_SWITCH_GROWTH_KB = 64
+# a flowlet balancer holds state only for flows seen within one idle
+# gap (the lazy sweep evicts the rest) — bounded by the active window,
+# not the flow count; an unbounded table would hold ~40MB here
+MAX_FLOWLET_GROWTH_KB = 512
+
+
+def _forwarding_harness():
+    """A switch with two equal-cost output ports, held non-draining.
+
+    Both ports are pinned ``busy`` so :meth:`Switch.receive` exercises
+    exactly the selection + enqueue path without scheduling transmit
+    events; the tiny shared buffers fill once and then every packet
+    drops, so all growth measured is *switch/balancer* state.
+    """
+    sim = Simulator()
+    switch = Switch(0)
+    for i in range(2):
+        mux = PriorityMux(buffer_bytes=10_000)
+        port = Port(sim, gbps(40), 1e-6, mux, name=f"out{i}")
+        port.busy = True
+        switch.add_route(0, port)
+    return sim, switch
+
+
+def _forward_distinct_flows(sim, switch, n_flows):
+    for flow_id in range(n_flows):
+        sim.now += 1e-6
+        switch.receive(Packet(flow_id, src=1, dst=0, seq=0, size=1500))
+
+
+def _traced_growth_kb(fn) -> float:
+    tracemalloc.start()
+    try:
+        fn()
+        before, _ = tracemalloc.get_traced_memory()
+        fn()
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return (after - before) / 1e3
+
+
+def test_switch_state_memory_bounded():
+    """Forwarding 200k distinct flows must not grow switch state.
+
+    Regression gate for the unbounded per-flow ``_ecmp_cache``: the
+    stateless hash needs no memo, spray wraps its counter modulo a safe
+    multiple, and the flowlet balancer's lazy sweep evicts idle flows —
+    so none of the three modes may accumulate per-flow memory.
+    """
+    print("\n=== Extension: switch-state memory over "
+          f"{N_SWITCH_FLOWS} distinct flows ===")
+    for mode, limit_kb in (("ecmp", MAX_SWITCH_GROWTH_KB),
+                           ("spray", MAX_SWITCH_GROWTH_KB),
+                           ("flowlet", MAX_FLOWLET_GROWTH_KB)):
+        sim, switch = _forwarding_harness()
+        if mode == "spray":
+            switch.spray = True
+        elif mode == "flowlet":
+            switch.lb = make_balancer("flowlet")
+        growth = _traced_growth_kb(
+            lambda: _forward_distinct_flows(sim, switch, N_SWITCH_FLOWS))
+        print(f"{mode}: second-pass growth {growth:.1f}KB "
+              f"(limit {limit_kb}KB)")
+        assert growth < limit_kb * 1.0, (
+            f"{mode} switch state grew {growth:.1f}KB over "
+            f"{N_SWITCH_FLOWS} flows — per-flow state is accumulating")
+        assert switch._spray_counter._value < 720_720
 
 
 def test_validated_streamed_soak_clean(benchmark):

@@ -1,12 +1,14 @@
 """Perf ratchet: fail when engine throughput regresses past the budget.
 
 Compares a freshly measured ``BENCH_core_engine.json`` against the
-checked-in baseline at the repo root and exits non-zero when the gated
+checked-in baseline at the repo root and exits non-zero when any gated
 probe's events/sec falls below ``threshold`` times the baseline.  The
-default gate is ``dctcp-incast`` at 0.75x — the full-datapath number
-that bounds experiment wall time, with a 25% allowance for runner
-noise (the checked-in baseline and CI run on different hardware, so
-the gate catches structural regressions, not jitter).
+default gates are ``dctcp-incast`` (the full-datapath number that
+bounds experiment wall time) and ``leaf-spine`` (the multi-hop ECMP
+forwarding path, which exercises the switch selection code the
+load-balancer seam hangs off), both at 0.75x — a 25% allowance for
+runner noise (the checked-in baseline and CI run on different
+hardware, so the gates catch structural regressions, not jitter).
 
 Usage (what CI runs)::
 
@@ -21,6 +23,8 @@ the ratchet for every commit after it.
 import argparse
 import json
 import sys
+
+DEFAULT_BENCHES = ("dctcp-incast", "leaf-spine")
 
 
 def rows_by_bench(path):
@@ -52,15 +56,21 @@ def main(argv=None):
                         help="checked-in baseline JSON (repo root)")
     parser.add_argument("--fresh", required=True,
                         help="freshly measured JSON to gate")
-    parser.add_argument("--bench", default="dctcp-incast",
-                        help="which probe row to gate on")
+    parser.add_argument("--bench", action="append", default=None,
+                        help="probe row to gate on (repeatable; default: "
+                             + ", ".join(DEFAULT_BENCHES) + ")")
     parser.add_argument("--threshold", type=float, default=0.75,
                         help="minimum fresh/baseline events-per-sec ratio")
     args = parser.parse_args(argv)
-    ok, message = check(args.baseline, args.fresh,
-                        bench=args.bench, threshold=args.threshold)
-    print(("OK      " if ok else "REGRESSED ") + message)
-    return 0 if ok else 1
+    benches = args.bench or list(DEFAULT_BENCHES)
+    failures = 0
+    for bench in benches:
+        ok, message = check(args.baseline, args.fresh,
+                            bench=bench, threshold=args.threshold)
+        print(("OK      " if ok else "REGRESSED ") + message)
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -44,11 +44,13 @@ from .experiments.parallel import GridTask, GridTaskError, RunSummary, run_grid
 from .experiments.runner import format_table, run
 from .experiments.scenarios import (
     HOMA_RTT_BYTES_SIM,
+    SIM_PFC,
     all_to_all_scenario,
     incast_scenario,
     soak_scenario,
 )
 from .resilience import CheckpointError, supervise_grid
+from .sim.routing import DEFAULT_FLOWLET_GAP, LB_MODES
 from .transport.aeolus import Aeolus
 from .transport.d2tcp import D2tcp
 from .transport.dcqcn import Dcqcn
@@ -266,21 +268,28 @@ def _cmd_run(args) -> int:
     # (each worker builds its own stream from the picklable spec).
     streaming = dict(stream=args.stream, load_shape=load_shape,
                      tenants=tenants, arrivals=args.arrivals)
+    # PFC + load-balancer features; all-defaults leaves the fabric
+    # builder untouched so existing invocations stay bit-identical
+    features = dict(lb=args.lb, lb_gap=args.lb_gap, pfc=args.pfc,
+                    pfc_config=SIM_PFC if args.pfc else None)
 
     def make_scenario():
         if args.soak is not None:
             return soak_scenario(
                 "cli-soak", cdf, horizon=args.soak, seed=args.seed,
-                faults=faults, event_budget=args.event_budget, **streaming)
+                faults=faults, event_budget=args.event_budget,
+                **streaming, **features)
         if args.pattern == "incast":
             return incast_scenario(
                 "cli", cdf, n_senders=args.incast_senders, load=args.load,
                 n_flows=args.flows, size_cap=args.size_cap, seed=args.seed,
-                faults=faults, event_budget=args.event_budget, **streaming)
+                faults=faults, event_budget=args.event_budget,
+                **streaming, **features)
         return all_to_all_scenario(
             "cli", cdf, load=args.load, n_flows=args.flows,
             size_cap=args.size_cap, seed=args.seed,
-            faults=faults, event_budget=args.event_budget, **streaming)
+            faults=faults, event_budget=args.event_budget,
+            **streaming, **features)
 
     supervised = args.task_timeout is not None or args.retries is not None
     failed_cells = []
@@ -408,9 +417,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault", action="append", metavar="SPEC",
         help="fault spec (repeatable): down:PORT:START:DURATION, "
              "flap:PORT:START:DOWN:UP[:CYCLES], loss:PORT:RATE[:START[:END]], "
-             "corrupt:PORT:RATE[:START[:END]], degrade:PORT:FACTOR:START[:END]; "
+             "corrupt:PORT:RATE[:START[:END]], degrade:PORT:FACTOR:START[:END], "
+             "pfcstorm:PORT:START:DURATION[:PRIORITY]; "
              "PORT is a name or glob like 'leaf0->spine*'")
     run_p.add_argument("--fault-seed", type=int, default=0)
+    run_p.add_argument("--lb", choices=list(LB_MODES), default="ecmp",
+                       help="switch load balancer: per-flow ECMP (default, "
+                            "bit-identical to earlier releases), flowlet "
+                            "switching, or CONGA-style least-congested-path")
+    run_p.add_argument("--lb-gap", type=float, metavar="SECONDS",
+                       default=None,
+                       help="flowlet idle gap / CONGA re-pin gap in seconds "
+                            f"(default {DEFAULT_FLOWLET_GAP:g})")
+    run_p.add_argument("--pfc", action="store_true",
+                       help="enable lossless Ethernet: per-priority PFC "
+                            "XOFF/XON on every switch with headroom so the "
+                            "lossless class never drops (RoCEv2-style; "
+                            "pair with dcqcn/hpcc)")
     run_p.add_argument("--event-budget", type=int, default=None,
                        help="abort a run after this many simulator events")
     run_p.add_argument("--jobs", type=int, default=1,

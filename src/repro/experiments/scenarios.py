@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Union
 
-from ..faults.plan import FaultPlan, LinkDown, PacketLoss, RateDegrade
+from ..faults.plan import FaultPlan, LinkDown, PacketLoss, PfcStorm, RateDegrade
 from ..sim.network import QueueConfig
+from ..sim.queues import PfcConfig
 from ..sim.topology import Topology, dumbbell, leaf_spine, star
 from ..transport.base import Flow, TransportConfig
 from ..units import gbps, kb, mb, us
@@ -43,6 +44,44 @@ TESTBED_BUFFER = 925_000      # 50MB shared by 54 ports (Table 3)
 TESTBED_K_HIGH = 100_000      # Table 3
 TESTBED_K_LOW = 80_000        # Table 3
 DEFAULT_SIZE_CAP = 2_000_000  # flow-size cap for the scaled scenarios
+
+# Lossless (RoCEv2-style) fabric settings for the scaled leaf-spine: ECN
+# engages first (the DCQCN/HPCC congestion signal), PFC backstops it —
+# XOFF above the marking threshold, XON halfway down, and headroom sized
+# for every ingress port's pause-propagation in-flight bytes several
+# times over so a lossless class can never drop.
+SIM_PFC = PfcConfig(xoff_bytes=60_000, xon_bytes=30_000,
+                    headroom_bytes=480_000)
+SIM_LOSSLESS_K_HIGH = 40_000  # mark well below XOFF: ECN before PAUSE
+SIM_LOSSLESS_K_LOW = 35_000
+
+
+def _with_features(
+    fabric: Callable[[], Topology],
+    *,
+    lb: str = "ecmp",
+    lb_gap: Optional[float] = None,
+    pfc: bool = False,
+    pfc_config: Optional[PfcConfig] = None,
+) -> Callable[[], Topology]:
+    """Wrap a fabric builder with PFC / load-balancer configuration.
+
+    With everything at defaults the original closure is returned
+    untouched, so scenarios without these features stay bit-identical
+    object-for-object.
+    """
+    if lb == "ecmp" and not pfc and pfc_config is None:
+        return fabric
+
+    def build() -> Topology:
+        topo = fabric()
+        if pfc or pfc_config is not None:
+            topo.enable_pfc(pfc_config)
+        if lb != "ecmp":
+            topo.set_load_balancer(lb, lb_gap)
+        return topo
+
+    return build
 
 
 def sim_qcfg(buffer_bytes: int = SIM_BUFFER, k_high: int = SIM_K_HIGH,
@@ -150,9 +189,15 @@ def dumbbell_scenario(
     tenants: Optional[Sequence[TenantClass]] = None,
     arrivals: str = "open",
     closed_users: int = 8,
+    lb: str = "ecmp",
+    lb_gap: Optional[float] = None,
+    pfc: bool = False,
+    pfc_config: Optional[PfcConfig] = None,
 ) -> Scenario:
     """Poisson traffic host0 -> host1 across the dumbbell bottleneck."""
-    fabric = dumbbell_fabric(bottleneck_rate=bottleneck_rate)
+    fabric = _with_features(dumbbell_fabric(bottleneck_rate=bottleneck_rate),
+                            lb=lb, lb_gap=lb_gap, pfc=pfc,
+                            pfc_config=pfc_config)
 
     def build_flows(topo: Topology) -> FlowSource:
         return _flow_source(
@@ -272,9 +317,14 @@ def all_to_all_scenario(
     tenants: Optional[Sequence[TenantClass]] = None,
     arrivals: str = "open",
     closed_users: int = 8,
+    lb: str = "ecmp",
+    lb_gap: Optional[float] = None,
+    pfc: bool = False,
+    pfc_config: Optional[PfcConfig] = None,
 ) -> Scenario:
     """All-to-all Poisson traffic on a fabric (the §6.2 shape)."""
-    fabric = fabric or sim_fabric()
+    fabric = _with_features(fabric or sim_fabric(), lb=lb, lb_gap=lb_gap,
+                            pfc=pfc, pfc_config=pfc_config)
 
     def build_flows(topo: Topology) -> FlowSource:
         return _flow_source(
@@ -309,9 +359,14 @@ def incast_scenario(
     tenants: Optional[Sequence[TenantClass]] = None,
     arrivals: str = "open",
     closed_users: int = 8,
+    lb: str = "ecmp",
+    lb_gap: Optional[float] = None,
+    pfc: bool = False,
+    pfc_config: Optional[PfcConfig] = None,
 ) -> Scenario:
     """N-to-1 incast: the load is defined against the receiver downlink."""
-    fabric = fabric or sim_fabric()
+    fabric = _with_features(fabric or sim_fabric(), lb=lb, lb_gap=lb_gap,
+                            pfc=pfc, pfc_config=pfc_config)
 
     def build_flows(topo: Topology) -> FlowSource:
         senders = [h for h in topo.host_ids() if h != receiver][:n_senders]
@@ -463,6 +518,10 @@ def soak_scenario(
     tenants: Optional[Sequence[TenantClass]] = None,
     arrivals: str = "open",
     closed_users: int = 8,
+    lb: str = "ecmp",
+    lb_gap: Optional[float] = None,
+    pfc: bool = False,
+    pfc_config: Optional[PfcConfig] = None,
 ) -> Scenario:
     """Hours of simulated time on a slow star, faults firing throughout.
 
@@ -478,7 +537,9 @@ def soak_scenario(
     """
     if horizon <= 0.0:
         raise ValueError(f"horizon must be positive, got {horizon!r}")
-    fabric = star_fabric(n_hosts, rate=rate)
+    fabric = _with_features(star_fabric(n_hosts, rate=rate),
+                            lb=lb, lb_gap=lb_gap, pfc=pfc,
+                            pfc_config=pfc_config)
     if faults is None and fault_period is not None:
         faults = soak_fault_plan(horizon, period=fault_period,
                                  seed=fault_seed)
@@ -509,6 +570,78 @@ def soak_scenario(
     return Scenario(name, fabric, build_flows,
                     config=config, max_time=horizon,
                     faults=faults, event_budget=event_budget)
+
+
+# ---------------------------------------------------------------------------
+# lossless Ethernet (RoCEv2-style) scenarios
+# ---------------------------------------------------------------------------
+
+
+def lossless_fabric(**overrides) -> Callable[[], Topology]:
+    """The scaled leaf-spine tuned for lossless operation.
+
+    ECN thresholds are pulled below the PFC XOFF point so DCQCN/HPCC see
+    congestion marks before any PAUSE fires — PFC is the backstop, not
+    the congestion signal, exactly as RoCEv2 deployments tune it.
+    """
+    params = dict(qcfg=sim_qcfg(k_high=SIM_LOSSLESS_K_HIGH,
+                                k_low=SIM_LOSSLESS_K_LOW))
+    params.update(overrides)
+    return sim_fabric(**params)
+
+
+def lossless_scenario(
+    name: str,
+    cdf: EmpiricalCdf = WEB_SEARCH,
+    *,
+    n_senders: int = 12,
+    load: float = 0.6,
+    n_flows: int = 120,
+    seed: int = 11,
+    max_time: float = 20.0,
+    lb: str = "ecmp",
+    lb_gap: Optional[float] = None,
+    pfc_config: Optional[PfcConfig] = None,
+    faults: Optional[FaultPlan] = None,
+    **overrides,
+) -> Scenario:
+    """RoCEv2-style incast on a PFC-enabled leaf-spine.
+
+    The sender set spans two leaves (12 senders > 7 same-leaf peers of
+    the receiver), so pauses propagate leaf -> spine -> leaf and the
+    lossless guarantee is exercised across the core, not just on one
+    edge queue.  Pair with DCQCN or HPCC, the schemes designed for this
+    fabric.
+    """
+    return incast_scenario(
+        name, cdf, n_senders=n_senders, load=load, n_flows=n_flows,
+        fabric=lossless_fabric(), seed=seed, max_time=max_time,
+        lb=lb, lb_gap=lb_gap, pfc=True,
+        pfc_config=pfc_config or SIM_PFC, faults=faults, **overrides)
+
+
+def pfc_storm_scenario(
+    name: str,
+    cdf: EmpiricalCdf = WEB_SEARCH,
+    *,
+    storm_port: str = "leaf0->host0",
+    storm_start: float = 0.002,
+    storm_duration: float = 0.004,
+    priority: int = 0,
+    **overrides,
+) -> Scenario:
+    """A lossless incast with a malfunctioning-NIC PFC storm layered on.
+
+    The storm jams ``storm_port`` (the victim receiver's downlink) in
+    the paused state; the leaf's shared buffer backs up, the leaf pauses
+    its own ingress — spine downlinks included — and head-of-line
+    blocking cascades fabric-wide until the window closes.  This is the
+    classic PFC failure mode (RoCEv2 deployment papers' motivating
+    incident) and the reason `repro.faults` grew a pause injector.
+    """
+    plan = FaultPlan([PfcStorm(storm_port, storm_start, storm_duration,
+                               priority=priority)])
+    return lossless_scenario(name, cdf, faults=plan, **overrides)
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ from .injectors import (
     Injector,
     LinkFaultInjector,
     LossInjector,
+    PfcStormInjector,
     PortDegrader,
 )
 from .plan import (
@@ -29,6 +30,7 @@ from .plan import (
     LinkFlap,
     PacketCorruption,
     PacketLoss,
+    PfcStorm,
     RateDegrade,
 )
 
@@ -43,6 +45,8 @@ __all__ = [
     "LossInjector",
     "PacketCorruption",
     "PacketLoss",
+    "PfcStorm",
+    "PfcStormInjector",
     "PortDegrader",
     "RateDegrade",
 ]

@@ -238,3 +238,44 @@ class PortDegrader:
 
     def describe(self) -> str:
         return f"degrade x{self.factor:.3g} on {self.port.name}"
+
+
+class PfcStormInjector:
+    """A malfunctioning receiver blasting PAUSE frames (PFC storm).
+
+    Not a packet filter: for the window it holds one extra pause
+    reference for ``priority`` on the port — exactly what an endless
+    stream of XOFF quanta from a jammed NIC does.  On a PFC-enabled
+    fabric the paused downlink backs traffic up into the switch, whose
+    own lossless thresholds then pause *its* upstreams: the classic
+    head-of-line-blocking cascade spreading from one sick host.
+    """
+
+    def __init__(self, sim: Simulator, port: Port, priority: int = 0) -> None:
+        if not 0 <= priority < 8:
+            raise ValueError(f"priority must be in [0, 8), got {priority}")
+        self.sim = sim
+        self.port = port
+        self.priority = priority
+        self.active = False
+        self.pkts_dropped = 0  # uniform counter interface; always 0
+
+    def storm(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.port.pfc_pause(self.priority)
+
+    def calm(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self.port.pfc_resume(self.priority)
+
+    def schedule(self, start: float, end: float) -> None:
+        self.sim.schedule_at(start, self.storm)
+        if end != INFINITY:
+            self.sim.schedule_at(end, self.calm)
+
+    def describe(self) -> str:
+        return f"pfcstorm P{self.priority} on {self.port.name}"

@@ -24,6 +24,7 @@ CLI plumbing — see :meth:`FaultPlan.parse`::
     loss:host0->sw0:0.02                  # 2% loss, whole run
     corrupt:sw0->host1:0.01:0.001:0.01
     degrade:leaf*->spine0:0.1:0.002:0.01  # 10% of nominal rate
+    pfcstorm:leaf0->host0:0.002:0.004     # pause P0 for 4ms (needs PFC)
 """
 
 from __future__ import annotations
@@ -40,6 +41,7 @@ from .injectors import (
     Injector,
     LinkFaultInjector,
     LossInjector,
+    PfcStormInjector,
     PortDegrader,
 )
 
@@ -127,7 +129,31 @@ class RateDegrade:
                 f"[{self.start:.6g}s, {self.end:.6g}s)")
 
 
-FaultEvent = (LinkDown, LinkFlap, PacketLoss, PacketCorruption, RateDegrade)
+@dataclass(frozen=True)
+class PfcStorm:
+    """A jammed receiver pausing ``priority`` on ``port`` for a window.
+
+    Requires a PFC-enabled fabric to cascade (the paused port backs up
+    into its switch, which pauses its own upstreams); on a lossy fabric
+    it simply stalls the one port's lossless-priority drain.
+    """
+
+    port: str
+    start: float
+    duration: float
+    priority: int = 0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def describe(self) -> str:
+        return (f"pfcstorm P{self.priority} {self.port} "
+                f"[{self.start:.6g}s, {self.end:.6g}s)")
+
+
+FaultEvent = (LinkDown, LinkFlap, PacketLoss, PacketCorruption, RateDegrade,
+              PfcStorm)
 
 
 # ---------------------------------------------------------------------------
@@ -202,6 +228,9 @@ class FaultPlan:
                     injector = CorruptionInjector(
                         sim, port, event.rate, rng,
                         event.start, event.end).attach()
+                elif isinstance(event, PfcStorm):
+                    injector = PfcStormInjector(sim, port, event.priority)
+                    injector.schedule(event.start, event.end)
                 else:  # RateDegrade
                     injector = PortDegrader(sim, port, event.factor)
                     injector.schedule(event.start, event.end)
@@ -238,6 +267,11 @@ def _validate_event(event, index: int) -> None:
         if event.end < event.start:
             raise bad(f"window ends ({event.end!r}) before it starts "
                       f"({event.start!r})")
+    elif isinstance(event, PfcStorm):
+        if event.duration <= 0.0:
+            raise bad(f"duration {event.duration!r} must be positive")
+        if not 0 <= event.priority < 8:
+            raise bad(f"priority {event.priority!r} must be in [0, 8)")
     else:  # RateDegrade
         if not 0.0 < event.factor <= 1.0:
             raise bad(f"factor {event.factor!r} must be in (0, 1] — it "
@@ -267,6 +301,10 @@ def _parse_one(kind: str, args: List[str]):
         start = float(args[2]) if len(args) > 2 else 0.0
         end = float(args[3]) if len(args) > 3 else INFINITY
         return RateDegrade(port, factor, start, end)
+    if kind == "pfcstorm":
+        port, start, duration = args[0], float(args[1]), float(args[2])
+        priority = int(args[3]) if len(args) > 3 else 0
+        return PfcStorm(port, start, duration, priority)
     raise ValueError(f"unknown fault kind {kind!r}")
 
 

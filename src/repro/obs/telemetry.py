@@ -46,10 +46,13 @@ FAULT_DOWN = "fault_down"
 FAULT_UP = "fault_up"
 FLOW_START = "flow_start"
 FLOW_COMPLETE = "flow_complete"
+PAUSE = "pause"
+RESUME = "resume"
 
 EVENT_KINDS = (
     DROP, MARK, TRIM, RETRANSMIT, RTO,
     FAULT_DOWN, FAULT_UP, FLOW_START, FLOW_COMPLETE,
+    PAUSE, RESUME,
 )
 
 _QUEUE_COUNTER_FIELDS = (
@@ -129,6 +132,11 @@ class TelemetrySummary:
     rtos: int = 0
     flows_started: int = 0
     flows_completed: int = 0
+    # lossless / load-balancing counters (PFC + flowlet/CONGA)
+    pauses_sent: int = 0
+    pauses_received: int = 0
+    pause_seconds: float = 0.0
+    flowlet_repins: int = 0
     # profiling rollup (events/sec over the profiled drain slices)
     slices: int = 0
     sim_events: int = 0
@@ -149,6 +157,11 @@ class TelemetrySummary:
                  f"{self.trims} trims", f"{self.retransmits} rtx",
                  f"{self.rtos} RTOs",
                  f"{self.flows_completed}/{self.flows_started} flows"]
+        if self.pauses_sent or self.pauses_received:
+            parts.append(f"{self.pauses_sent} pauses "
+                         f"({self.pause_seconds * 1e3:.3g}ms paused)")
+        if self.flowlet_repins:
+            parts.append(f"{self.flowlet_repins} flowlet re-pins")
         if self.events_seen > self.events_kept:
             parts.append(f"trace kept {self.events_kept}/{self.events_seen}")
         if self.wall_seconds > 0.0:
@@ -171,6 +184,10 @@ class TelemetrySummary:
             total.rtos += s.rtos
             total.flows_started += s.flows_started
             total.flows_completed += s.flows_completed
+            total.pauses_sent += s.pauses_sent
+            total.pauses_received += s.pauses_received
+            total.pause_seconds += s.pause_seconds
+            total.flowlet_repins += s.flowlet_repins
             total.slices += s.slices
             total.sim_events += s.sim_events
             total.wall_seconds += s.wall_seconds
@@ -230,6 +247,10 @@ class Telemetry:
         # harvested at finalize()
         self.port_counters: Dict[str, Dict[str, int]] = {}
         self.flow_counters: Dict[int, Dict[str, object]] = {}
+        self.pauses_sent = 0
+        self.pauses_received = 0
+        self.pause_seconds = 0.0
+        self.flowlet_repins = 0
         # (slice_end_sim_time, events_executed, wall_seconds) per drain slice
         self.profile: List[tuple] = []
 
@@ -266,6 +287,7 @@ class Telemetry:
             port.mux.add_drop_hook(self._port_hook(DROP, port))
             port.mux.add_mark_hook(self._port_hook(MARK, port))
             port.mux.add_trim_hook(self._port_hook(TRIM, port))
+            port.pause_hook = chain(port.pause_hook, self._pause_transition)
         if faults is not None:
             for injector in faults.link_injectors:
                 injector.transition_hook = chain(
@@ -278,6 +300,10 @@ class Telemetry:
     def _fault_transition(self, port, is_down: bool) -> None:
         self.record(FAULT_DOWN if is_down else FAULT_UP, self.sim.now,
                     port=port.name)
+
+    def _pause_transition(self, port, priority: int, paused: bool) -> None:
+        self.record(PAUSE if paused else RESUME, self.sim.now,
+                    port=port.name, priority=priority)
 
     # targets for the runner / window-sender hook sites
 
@@ -302,6 +328,17 @@ class Telemetry:
                         for name in _QUEUE_COUNTER_FIELDS}
             for port in network.ports
         }
+        now = self.sim.now if self.sim is not None else 0.0
+        self.pauses_sent = sum(
+            c.pauses_sent for c in getattr(network, "pfc_controllers", []))
+        self.pauses_received = sum(
+            getattr(port, "pauses_received", 0) for port in network.ports)
+        self.pause_seconds = sum(
+            port.total_pause_seconds(now) for port in network.ports
+            if getattr(port, "pauses_received", 0))
+        self.flowlet_repins = sum(
+            switch.lb.repins for switch in getattr(network, "switches", [])
+            if getattr(switch, "lb", None) is not None)
         per_flow: Dict[int, Dict[str, object]] = {}
         for flow in flows:
             per_flow[flow.flow_id] = {
@@ -359,6 +396,10 @@ class Telemetry:
             rtos=sum(c["rtos"] for c in flow_values),
             flows_started=self.counts.get(FLOW_START, 0),
             flows_completed=self.counts.get(FLOW_COMPLETE, 0),
+            pauses_sent=self.pauses_sent,
+            pauses_received=self.pauses_received,
+            pause_seconds=self.pause_seconds,
+            flowlet_repins=self.flowlet_repins,
             slices=slices,
             sim_events=sum(events for _t, events, _w in self.profile),
             wall_seconds=sum(wall for _t, _e, wall in self.profile),

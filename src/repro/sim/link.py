@@ -24,7 +24,7 @@ from heapq import heappush
 from typing import List, Optional
 
 from .engine import Event, Simulator
-from .packet import Packet
+from .packet import NUM_PRIORITIES, Packet
 from .queues import PriorityMux
 
 
@@ -235,6 +235,8 @@ class Port:
         "_tx_cb", "fault_chain",
         "fault_admit_drops", "fault_admit_drop_bytes",
         "fault_wire_drops", "fault_wire_drop_bytes",
+        "paused_mask", "pause_hook", "pauses_received", "pause_seconds",
+        "_pause_refs", "_pause_started",
     )
 
     def __init__(
@@ -270,6 +272,16 @@ class Port:
         self.fault_admit_drop_bytes = 0
         self.fault_wire_drops = 0
         self.fault_wire_drop_bytes = 0
+        # PFC pause state: a bitmask of priorities this port must not
+        # drain.  Ref-counted per priority (several downstream muxes —
+        # or a PFC-storm injector — may pause the same class at once);
+        # the lazy lists keep the common lossy port at two None slots.
+        self.paused_mask = 0
+        self.pause_hook = None  # fn(port, priority, paused: bool)
+        self.pauses_received = 0
+        self.pause_seconds = 0.0
+        self._pause_refs: Optional[list] = None
+        self._pause_started: Optional[list] = None
 
     def __getstate__(self) -> dict:
         """Checkpoint snapshot: same contract as :meth:`Wire.__getstate__`
@@ -325,6 +337,54 @@ class Port:
             self.fault_wire_drop_bytes += pkt.size
         return len(flushed)
 
+    # -- PFC pause/resume -------------------------------------------------
+
+    def pfc_pause(self, priority: int) -> None:
+        """A PAUSE frame for ``priority`` arrived: stop draining it.
+
+        Ref-counted — the priority resumes only once every pauser has
+        sent its RESUME.  An in-progress transmission is never aborted
+        (real PFC is also packet-granular); the pause takes effect at
+        the next dequeue decision.
+        """
+        refs = self._pause_refs
+        if refs is None:
+            refs = self._pause_refs = [0] * NUM_PRIORITIES
+            self._pause_started = [0.0] * NUM_PRIORITIES
+        self.pauses_received += 1
+        refs[priority] += 1
+        if refs[priority] == 1:
+            self.paused_mask |= 1 << priority
+            self._pause_started[priority] = self.sim.now
+            if self.pause_hook is not None:
+                self.pause_hook(self, priority, True)
+
+    def pfc_resume(self, priority: int) -> None:
+        """A RESUME (PAUSE with zero quanta) arrived: drop one pause ref."""
+        refs = self._pause_refs
+        if refs is None or refs[priority] == 0:
+            return
+        refs[priority] -= 1
+        if refs[priority] == 0:
+            self.paused_mask &= ~(1 << priority)
+            self.pause_seconds += self.sim.now - self._pause_started[priority]
+            if self.pause_hook is not None:
+                self.pause_hook(self, priority, False)
+            if not self.busy and self.mux.nonempty_mask & ~self.paused_mask:
+                self._start_next()
+
+    def total_pause_seconds(self, now: float) -> float:
+        """Cumulative paused time across priorities, open intervals included."""
+        total = self.pause_seconds
+        if self.paused_mask:
+            mask = self.paused_mask
+            started = self._pause_started
+            while mask:
+                bit = mask & -mask
+                mask ^= bit
+                total += now - started[bit.bit_length() - 1]
+        return total
+
     # -- transmission -----------------------------------------------------
 
     def send(self, pkt: Packet) -> bool:
@@ -351,6 +411,8 @@ class Port:
         # invariant auditor cross-checks them every run).
         mux = self.mux
         mask = mux.nonempty_mask
+        if self.paused_mask:
+            mask &= ~self.paused_mask  # PFC: skip paused priorities
         if not mask:
             self.busy = False
             return
@@ -358,7 +420,9 @@ class Port:
         queue = mux.queues[priority]
         pkt = queue.popleft()
         if not queue:
-            mux.nonempty_mask = mask & (mask - 1)
+            # same integer as ``mask & (mask - 1)`` when nothing is
+            # paused (priority is then nonempty_mask's lowest set bit)
+            mux.nonempty_mask &= ~(1 << priority)
         size = pkt.size
         mux.occupancy -= size
         mux.queue_occupancy[priority] -= size
@@ -370,6 +434,8 @@ class Port:
         stats = mux.stats
         stats.dequeued += 1
         stats.bytes_dequeued += size
+        if mux.pfc is not None:
+            mux.pfc_dequeue_check(priority)
         sim = self.sim
         now = sim.now
         pkt.queue_delay += now  # time spent waiting in the mux

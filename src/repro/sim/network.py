@@ -21,7 +21,8 @@ from .engine import Event, Simulator
 from .host import Host
 from .link import Port
 from .packet import HEADER_BYTES, NUM_PRIORITIES, Packet
-from .queues import PriorityMux
+from .queues import PfcConfig, PriorityMux
+from .routing import make_balancer
 from .switch import Switch
 
 
@@ -47,6 +48,9 @@ class QueueConfig:
     # DT alpha 8 for the high-priority half, 1 for the lossy low-priority
     # half (see PriorityMux docstring); None = pure shared tail drop.
     dt_alpha: object = (8.0, 8.0, 8.0, 8.0, 1.0, 1.0, 1.0, 1.0)
+    # PFC lossless-class thresholds; the controller side is wired by
+    # Network.enable_pfc (which also fills this in when absent).
+    pfc: Optional[PfcConfig] = None
 
     def build(self, rate_bps: float) -> PriorityMux:
         thresholds = self.ecn_thresholds
@@ -61,7 +65,7 @@ class QueueConfig:
             )
             k_low = ecn_threshold_bytes(lam_low, rate_bps, self.base_rtt)
             thresholds = [k_high] * 4 + [k_low] * 4
-        return PriorityMux(
+        mux = PriorityMux(
             self.buffer_bytes,
             thresholds,
             ecn_mode=self.ecn_mode,
@@ -70,6 +74,9 @@ class QueueConfig:
             lp_buffer_cap=self.lp_buffer_cap,
             dt_alpha=self.dt_alpha,
         )
+        if self.pfc is not None:
+            mux.pfc = self.pfc.make_state()
+        return mux
 
 
 class ControlPipe:
@@ -146,6 +153,81 @@ class ControlPipe:
         return len(self.pending)
 
 
+class PfcController:
+    """Per-switch PFC pause/resume fan-out.
+
+    The data-plane trigger lives in the egress muxes (``PfcState``
+    hysteresis); this controller turns each switch-level XOFF/XON edge
+    into PAUSE/RESUME deliveries at every *upstream* transmitter feeding
+    the switch, one link propagation delay later — the hop-by-hop,
+    whole-ingress blast radius that makes PFC storms and head-of-line
+    blocking possible.  Per-egress assertions are ref-counted
+    (``xoff_count``): upstream ports resume only when the last congested
+    egress queue has drained below XON.
+
+    All state is plain data; the controller pickles inside checkpoints
+    along with the network (in-flight deliveries are heap events holding
+    bound methods, exactly like the wire/timer callbacks).
+    """
+
+    def __init__(self, sim: Simulator, switch: Switch,
+                 ingress_ports: List[Port]) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.ingress_ports = ingress_ports
+        self.xoff_count = [0] * NUM_PRIORITIES
+        self.commanded_mask = 0
+        # per-ingress-port mask of priorities whose latest command has
+        # been delivered (trails commanded_mask by the in-flight ops)
+        self.delivered_masks = [0] * len(ingress_ports)
+        self.pending_ops = 0
+        self.pauses_sent = 0
+        self.resumes_sent = 0
+
+    def on_xoff(self, priority: int) -> None:
+        """An egress queue crossed XOFF: pause upstream (0 -> 1 edge)."""
+        self.xoff_count[priority] += 1
+        if self.xoff_count[priority] == 1:
+            self.commanded_mask |= 1 << priority
+            self._fan_out(priority, True)
+
+    def on_xon(self, priority: int) -> None:
+        """An egress queue drained below XON: last one lifts the pause."""
+        self.xoff_count[priority] -= 1
+        if self.xoff_count[priority] == 0:
+            self.commanded_mask &= ~(1 << priority)
+            self._fan_out(priority, False)
+
+    def _fan_out(self, priority: int, pause: bool) -> None:
+        sim = self.sim
+        now = sim.now
+        for index, port in enumerate(self.ingress_ports):
+            # the PAUSE frame crosses the link back to the transmitter
+            sim.schedule_at(now + port.prop_delay, self._deliver,
+                            index, priority, pause)
+            self.pending_ops += 1
+            if pause:
+                self.pauses_sent += 1
+            else:
+                self.resumes_sent += 1
+
+    def _deliver(self, index: int, priority: int, pause: bool) -> None:
+        self.pending_ops -= 1
+        bit = 1 << priority
+        port = self.ingress_ports[index]
+        if pause:
+            self.delivered_masks[index] |= bit
+            port.pfc_pause(priority)
+        else:
+            self.delivered_masks[index] &= ~bit
+            port.pfc_resume(priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PfcController {self.switch.name} "
+                f"commanded={self.commanded_mask:#x} "
+                f"pauses={self.pauses_sent}>")
+
+
 class Network:
     """The assembled fabric."""
 
@@ -160,6 +242,8 @@ class Network:
         # Control-path accounting (bytes that bypassed the queued fabric).
         self.control_pkts = 0
         self._control_pipes: Dict[Tuple[int, int], ControlPipe] = {}
+        # PFC controllers, one per switch, populated by enable_pfc().
+        self.pfc_controllers: List[PfcController] = []
 
     # -- construction ----------------------------------------------------
 
@@ -225,6 +309,43 @@ class Network:
         """Enable per-packet spraying on every switch (NDP mode)."""
         for switch in self.switches:
             switch.spray = enabled
+
+    def set_load_balancer(self, mode: str, gap: Optional[float] = None) -> None:
+        """Install a load balancer on every switch.
+
+        ``mode`` is ``"ecmp"`` (the stateless default), ``"flowlet"`` or
+        ``"conga"``; each switch gets its own balancer instance so
+        flowlet state never leaks between hops.  Call after the topology
+        is fully built.
+        """
+        for switch in self.switches:
+            switch.lb = make_balancer(mode, gap)
+
+    def enable_pfc(self, config: Optional[PfcConfig] = None) -> None:
+        """Turn on PFC at every switch (idempotent per switch).
+
+        Egress muxes that were not already built lossless (via
+        ``QueueConfig.pfc``) get thresholds from ``config`` — or
+        :meth:`PfcConfig.for_buffer` defaults — and every egress state
+        is wired to a per-switch :class:`PfcController` that pauses all
+        the switch's upstream transmitters.  Host NIC muxes are never
+        made lossless themselves: a host is a traffic *source*, it gets
+        paused from downstream but has nobody upstream to pause (its
+        multi-MB NIC buffer absorbs the backlog).
+        """
+        if self.pfc_controllers:
+            return  # already enabled
+        for switch in self.switches:
+            ingress = [p for p in self.ports if p.peer is switch]
+            controller = PfcController(self.sim, switch, ingress)
+            for port in switch.ports():
+                mux = port.mux
+                if mux.pfc is None:
+                    cfg = config or PfcConfig.for_buffer(mux.buffer_bytes)
+                    mux.pfc = cfg.make_state()
+                if mux.pfc.controller is None:
+                    mux.pfc.controller = controller
+            self.pfc_controllers.append(controller)
 
     # -- ideal control path ----------------------------------------------
 

@@ -19,10 +19,87 @@ drains it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs.hooks import chain
 from .packet import HEADER, HEADER_BYTES, NUM_PRIORITIES, Packet
+
+
+@dataclass(frozen=True)
+class PfcConfig:
+    """Priority Flow Control (IEEE 802.1Qbb) thresholds for one port.
+
+    A lossless priority's queue crossing ``xoff_bytes`` sends PAUSE
+    upstream; draining back below ``xon_bytes`` sends RESUME.  The
+    hysteresis band (xon < xoff) stops pause/resume flapping.
+    ``headroom_bytes`` is buffer *beyond* the shared pool reserved for
+    in-flight bytes that arrive after XOFF was sent but before the
+    upstream sender actually stopped (one link RTT plus a full-size
+    packet per upstream port, in real ASICs); with adequate headroom a
+    lossless class never drops.
+    """
+
+    xoff_bytes: int
+    xon_bytes: int
+    headroom_bytes: int
+    priorities: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.xon_bytes <= self.xoff_bytes:
+            raise ValueError(
+                f"need 0 <= xon ({self.xon_bytes}) <= xoff "
+                f"({self.xoff_bytes})")
+        if self.headroom_bytes < 0:
+            raise ValueError("headroom_bytes must be >= 0")
+        for p in self.priorities:
+            if not 0 <= p < NUM_PRIORITIES:
+                raise ValueError(f"lossless priority out of range: {p}")
+
+    @property
+    def lossless_mask(self) -> int:
+        mask = 0
+        for p in self.priorities:
+            mask |= 1 << p
+        return mask
+
+    @classmethod
+    def for_buffer(cls, buffer_bytes: int,
+                   priorities: Tuple[int, ...] = (0,)) -> "PfcConfig":
+        """Conventional thresholds scaled to the shared-buffer size:
+        XOFF at a third of the pool, XON at a sixth, headroom equal to
+        the pool (worst case every upstream port keeps blasting for a
+        full pause-propagation window)."""
+        return cls(xoff_bytes=buffer_bytes // 3,
+                   xon_bytes=buffer_bytes // 6,
+                   headroom_bytes=buffer_bytes,
+                   priorities=priorities)
+
+    def make_state(self) -> "PfcState":
+        return PfcState(self)
+
+
+class PfcState:
+    """Mutable per-mux PFC state built from a :class:`PfcConfig`.
+
+    ``xoff_state`` is a bitmask of priorities currently asserting XOFF;
+    the attached controller (wired by ``Network.enable_pfc``) turns the
+    on/off edges into PAUSE/RESUME deliveries to upstream ports.
+    ``lossless_drops`` must stay zero — the validate layer enforces it.
+    """
+
+    __slots__ = ("xoff_bytes", "xon_bytes", "headroom_bytes",
+                 "lossless_mask", "xoff_state", "lossless_drops",
+                 "controller")
+
+    def __init__(self, config: PfcConfig) -> None:
+        self.xoff_bytes = config.xoff_bytes
+        self.xon_bytes = config.xon_bytes
+        self.headroom_bytes = config.headroom_bytes
+        self.lossless_mask = config.lossless_mask
+        self.xoff_state = 0
+        self.lossless_drops = 0
+        self.controller = None
 
 
 class QueueStats:
@@ -114,7 +191,7 @@ class PriorityMux:
         "trim_threshold_bytes",
         "selective_drop_threshold", "lp_buffer_cap", "dt_alphas",
         "queues", "occupancy", "queue_occupancy", "lp_occupancy",
-        "hp_occupancy", "nonempty_mask", "pkt_count",
+        "hp_occupancy", "nonempty_mask", "pkt_count", "pfc",
         "stats", "drop_hook", "mark_hook", "trim_hook",
     )
 
@@ -167,6 +244,9 @@ class PriorityMux:
         self.hp_occupancy = 0
         self.nonempty_mask = 0
         self.pkt_count = 0
+        # Optional PFC lossless-class state (PfcState); None = lossy
+        # port, and exactly one attribute test on the hot enqueue path.
+        self.pfc: Optional[PfcState] = None
         self.stats = QueueStats()
         # Optional per-event hooks (None = nobody listening, one branch
         # on the hot path).  Attach via add_*_hook, which *chains*
@@ -205,6 +285,9 @@ class PriorityMux:
         occupancy = self.occupancy
         stats.offered += 1
         stats.bytes_offered += arrival_size
+        pfc = self.pfc
+        if pfc is not None and (pfc.lossless_mask >> pkt.priority) & 1:
+            return self._enqueue_lossless(pkt, arrival_size, pfc)
         trimmed = False
         # Aeolus selective dropping of pre-credit packets.
         if (
@@ -299,6 +382,77 @@ class PriorityMux:
         stats.bytes_enqueued += size
         return True
 
+    def _enqueue_lossless(self, pkt: Packet, arrival_size: int,
+                          pfc: PfcState) -> bool:
+        """Admit a packet of a PFC-protected priority.
+
+        Lossless classes skip the lossy admission features (trim,
+        Aeolus, DT) entirely: instead of dropping, crossing XOFF pauses
+        the upstream senders, and ``headroom_bytes`` beyond the shared
+        pool absorbs what is already in flight.  A drop here means the
+        headroom was provisioned too small; it is counted separately so
+        the validate layer can flag it.
+        """
+        occupancy = self.occupancy
+        size = pkt.size
+        priority = pkt.priority
+        if occupancy + size > self.buffer_bytes + pfc.headroom_bytes:
+            pfc.lossless_drops += 1
+            self._drop(pkt, arrival_size)
+            return False
+
+        # ECN still marks lossless traffic — DCQCN's congestion signal
+        # is CE marks on the very queues PFC protects.
+        queue_occupancy = self.queue_occupancy
+        threshold = self.ecn_thresholds[priority]
+        if threshold is not None and pkt.ecn_capable:
+            mode = self.ecn_mode
+            if mode == "paper":
+                level = self.hp_occupancy if priority < 4 else occupancy
+            elif mode == "total":
+                level = occupancy
+            else:
+                level = queue_occupancy[priority]
+            if level >= threshold:
+                pkt.ecn_ce = True
+                self.stats.marked += 1
+                if self.mark_hook is not None:
+                    self.mark_hook(pkt)
+
+        self.queues[priority].append(pkt)
+        self.occupancy = occupancy + size
+        queue_occupancy[priority] += size
+        if priority < 4:
+            self.hp_occupancy += size
+        if pkt.lcp:
+            self.lp_occupancy += size
+        self.nonempty_mask |= 1 << priority
+        self.pkt_count += 1
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += size
+
+        bit = 1 << priority
+        if not (pfc.xoff_state & bit) \
+                and queue_occupancy[priority] > pfc.xoff_bytes:
+            pfc.xoff_state |= bit
+            if pfc.controller is not None:
+                pfc.controller.on_xoff(priority)
+        return True
+
+    def pfc_dequeue_check(self, priority: int) -> None:
+        """XON when a paused priority drained below the resume mark.
+
+        Called after every dequeue (including the inlined fast path in
+        ``Port._start_next``) on PFC-enabled muxes only.
+        """
+        pfc = self.pfc
+        bit = 1 << priority
+        if pfc.xoff_state & bit \
+                and self.queue_occupancy[priority] <= pfc.xon_bytes:
+            pfc.xoff_state &= ~bit
+            if pfc.controller is not None:
+                pfc.controller.on_xon(priority)
+
     def _drop(self, pkt: Packet, size: Optional[int] = None) -> None:
         self.stats.dropped += 1
         self.stats.bytes_dropped += pkt.size if size is None else size
@@ -327,6 +481,8 @@ class PriorityMux:
         self.pkt_count -= 1
         self.stats.dequeued += 1
         self.stats.bytes_dequeued += pkt.size
+        if self.pfc is not None:
+            self.pfc_dequeue_check(priority)
         return pkt
 
     def flush(self) -> int:
@@ -355,6 +511,16 @@ class PriorityMux:
                 self._drop(pkt)
                 flushed += 1
         self.nonempty_mask = 0
+        pfc = self.pfc
+        if pfc is not None and pfc.xoff_state:
+            # every queue is now empty (<= xon), so all pauses lift
+            state = pfc.xoff_state
+            pfc.xoff_state = 0
+            if pfc.controller is not None:
+                while state:
+                    bit = state & -state
+                    state ^= bit
+                    pfc.controller.on_xon(bit.bit_length() - 1)
         return flushed
 
     # -- introspection ---------------------------------------------------

@@ -29,7 +29,7 @@ class Switch:
     """
 
     __slots__ = ("switch_id", "name", "table", "spray", "_spray_counter",
-                 "_ecmp_cache", "pkts_forwarded", "bytes_forwarded")
+                 "lb", "pkts_forwarded", "bytes_forwarded")
 
     def __init__(self, switch_id: int, name: str = "") -> None:
         self.switch_id = switch_id
@@ -37,10 +37,10 @@ class Switch:
         self.table: Dict[int, List[Port]] = {}
         self.spray = False
         self._spray_counter = SprayCounter()
-        # (flow_id, n_choices) -> ECMP index.  The hash is a pure
-        # function of the key, so memoizing it is exact; keying on the
-        # candidate count keeps the cache correct if routes are added.
-        self._ecmp_cache: Dict[tuple, int] = {}
+        # Optional stateful load balancer (FlowletBalancer /
+        # CongaBalancer); None means stateless per-flow ECMP.  The hash
+        # is a few integer ops, cheaper than a dict probe — no memo.
+        self.lb = None
         self.pkts_forwarded = 0
         self.bytes_forwarded = 0
 
@@ -59,13 +59,13 @@ class Switch:
             port = candidates[0]
         elif self.spray:
             port = candidates[self._spray_counter.next(len(candidates))]
+        elif self.lb is not None:
+            port = candidates[self.lb.choose(
+                pkt.flow_id, candidates, candidates[0].sim.now,
+                self.switch_id)]
         else:
-            key = (pkt.flow_id, len(candidates))
-            idx = self._ecmp_cache.get(key)
-            if idx is None:
-                idx = self._ecmp_cache[key] = ecmp_hash(
-                    pkt.flow_id, self.switch_id, key[1])
-            port = candidates[idx]
+            port = candidates[ecmp_hash(
+                pkt.flow_id, self.switch_id, len(candidates))]
         pkt.hops += 1
         self.pkts_forwarded += 1
         self.bytes_forwarded += pkt.size

@@ -21,6 +21,7 @@ from typing import Optional
 from ..units import gbps, us
 from .engine import Simulator
 from .network import Network, QueueConfig
+from .queues import PfcConfig
 
 
 @dataclass
@@ -36,6 +37,17 @@ class Topology:
 
     def host_ids(self):
         return list(self.network.hosts.keys())
+
+    def enable_pfc(self, config: Optional[PfcConfig] = None) -> "Topology":
+        """Lossless Ethernet: PFC on every switch (see Network.enable_pfc)."""
+        self.network.enable_pfc(config)
+        return self
+
+    def set_load_balancer(self, mode: str,
+                          gap: Optional[float] = None) -> "Topology":
+        """Install flowlet/CONGA/ECMP balancing on every switch."""
+        self.network.set_load_balancer(mode, gap)
+        return self
 
 
 def _default_qcfg(buffer_bytes: int, base_rtt: float) -> QueueConfig:

@@ -105,11 +105,46 @@ def audit_mux(mux: PriorityMux) -> List[Tuple[str, str, dict]]:
             "mux-pkt-count",
             "pkt_count ledger disagrees with queued packets",
             {"pkt_count": mux.pkt_count, "actual": still_queued}))
-    if mux.occupancy > mux.buffer_bytes:
+    pfc = mux.pfc
+    headroom = pfc.headroom_bytes if pfc is not None else 0
+    if mux.occupancy > mux.buffer_bytes + headroom:
         problems.append((
             "mux-buffer-cap",
-            "occupancy exceeds the shared buffer",
-            {"occupancy": mux.occupancy, "buffer_bytes": mux.buffer_bytes}))
+            "occupancy exceeds the shared buffer plus PFC headroom",
+            {"occupancy": mux.occupancy, "buffer_bytes": mux.buffer_bytes,
+             "headroom_bytes": headroom}))
+    if pfc is not None:
+        # PFC state laws: XOFF only on lossless classes, hysteresis
+        # respected both ways, and — the whole point of lossless
+        # Ethernet — no lossless-class packet was ever dropped.
+        if pfc.xoff_state & ~pfc.lossless_mask:
+            problems.append((
+                "pfc-xoff-lossless",
+                "XOFF asserted for a priority outside the lossless set",
+                {"xoff_state": pfc.xoff_state,
+                 "lossless_mask": pfc.lossless_mask}))
+        for priority in range(len(mux.queues)):
+            bit = 1 << priority
+            if not (pfc.lossless_mask & bit):
+                continue
+            depth = mux.queue_occupancy[priority]
+            if (pfc.xoff_state & bit) and depth <= pfc.xon_bytes:
+                problems.append((
+                    "pfc-hysteresis",
+                    f"priority {priority} still XOFF below the XON mark",
+                    {"priority": priority, "depth": depth,
+                     "xon_bytes": pfc.xon_bytes}))
+            if not (pfc.xoff_state & bit) and depth > pfc.xoff_bytes:
+                problems.append((
+                    "pfc-hysteresis",
+                    f"priority {priority} above XOFF without asserting it",
+                    {"priority": priority, "depth": depth,
+                     "xoff_bytes": pfc.xoff_bytes}))
+        if pfc.lossless_drops:
+            problems.append((
+                "pfc-lossless-drop",
+                "a lossless-class packet was dropped (headroom too small)",
+                {"lossless_drops": pfc.lossless_drops}))
 
     pre_drops = stats.dropped - stats.dropped_after_enqueue
     if stats.offered != stats.enqueued + pre_drops:
@@ -215,6 +250,11 @@ class RunAuditor:
         for port in self.network.ports:
             self._audit_mux(port)
             self._audit_port(port)
+        for controller in getattr(self.network, "pfc_controllers", []):
+            self._audit_pfc_controller(controller)
+        for switch in self.network.switches:
+            if getattr(switch, "lb", None) is not None:
+                self._audit_lb(switch)
         for sender in self._endpoints(WindowSender):
             self._audit_rto(sender)
 
@@ -252,6 +292,76 @@ class RunAuditor:
                     "port-serialization-bytes", port.name,
                     "in-serialization bytes disagree with busy state",
                     in_serialization_bytes=in_serial, busy=port.busy)
+        refs = port._pause_refs
+        if refs is not None or port.paused_mask:
+            mask = 0
+            negative = 0
+            for priority, count in enumerate(refs or ()):
+                if count > 0:
+                    mask |= 1 << priority
+                elif count < 0:
+                    negative += 1
+            self._check(mask == port.paused_mask and negative == 0,
+                        "pfc-pause-consistency", port.name,
+                        "paused_mask disagrees with the pause ref-counts",
+                        paused_mask=port.paused_mask, ref_mask=mask,
+                        negative_refs=negative)
+
+    def _audit_pfc_controller(self, controller) -> None:
+        """Pause-state consistency between a switch's egress muxes, the
+        controller's command ledger and the upstream ports it pauses."""
+        subject = f"pfc@{controller.switch.name}"
+        expected = 0
+        for port in controller.switch.ports():
+            pfc = port.mux.pfc
+            if pfc is not None and pfc.controller is controller:
+                expected |= pfc.xoff_state
+        self._check(controller.commanded_mask == expected,
+                    "pfc-command-consistency", subject,
+                    "commanded pause mask disagrees with egress XOFF states",
+                    commanded_mask=controller.commanded_mask,
+                    egress_xoff_union=expected)
+        self._check(controller.pending_ops >= 0,
+                    "pfc-command-consistency", subject,
+                    "negative in-flight PAUSE/RESUME count",
+                    pending_ops=controller.pending_ops)
+        if controller.pending_ops == 0:
+            # quiescent command plane: every upstream transmitter must
+            # hold exactly the commanded pauses (a PFC-storm injector
+            # may add refs of its own, hence subset, not equality,
+            # against the port's total paused_mask)
+            for index, port in enumerate(controller.ingress_ports):
+                delivered = controller.delivered_masks[index]
+                self._check(delivered == controller.commanded_mask,
+                            "pfc-pause-consistency", port.name,
+                            "delivered pause mask trails the command "
+                            "with nothing in flight",
+                            delivered_mask=delivered,
+                            commanded_mask=controller.commanded_mask)
+                self._check(delivered & ~port.paused_mask == 0,
+                            "pfc-pause-consistency", port.name,
+                            "port dropped a pause the controller delivered",
+                            delivered_mask=delivered,
+                            paused_mask=port.paused_mask)
+
+    def _audit_lb(self, switch) -> None:
+        """Load-balancer state sanity: flowlet timestamps never come
+        from the future and per-flow state stays well-formed."""
+        now = self.sim.now
+        subject = f"lb@{switch.name}"
+        stale = 0
+        bad_state = 0
+        for state in switch.lb._flows.values():
+            if state[0] > now + TIME_EPS:
+                stale += 1
+            if state[1] < 0:
+                bad_state += 1
+        self._check(stale == 0, "lb-flowlet-times", subject,
+                    "flowlet last-seen timestamps in the future",
+                    future_entries=stale, tracked_flows=len(switch.lb._flows))
+        self._check(bad_state == 0, "lb-flowlet-state", subject,
+                    "negative flowlet id / path index in balancer state",
+                    bad_entries=bad_state)
 
     def _audit_rto(self, sender: WindowSender) -> None:
         event = sender._rto_event

@@ -27,6 +27,7 @@ from ..cli import SCHEME_FACTORIES
 from ..experiments.parallel import GridTask, run_grid
 from ..experiments.runner import format_table
 from ..experiments.scenarios import (
+    SIM_PFC,
     all_to_all_scenario,
     dumbbell_scenario,
     sim_fabric,
@@ -58,10 +59,40 @@ def _leaf_spine_scenario(*, n_flows: int) -> object:
         event_budget=DEFAULT_EVENT_BUDGET)
 
 
+def _leaf_spine_pfc_scenario(*, n_flows: int) -> object:
+    return all_to_all_scenario(
+        "validate-leaf-spine-pfc", WEB_SEARCH, n_flows=n_flows,
+        fabric=sim_fabric(n_leaf=2, n_spine=2, hosts_per_leaf=4), seed=104,
+        event_budget=DEFAULT_EVENT_BUDGET, pfc=True, pfc_config=SIM_PFC)
+
+
+def _leaf_spine_flowlet_scenario(*, n_flows: int) -> object:
+    return all_to_all_scenario(
+        "validate-leaf-spine-flowlet", WEB_SEARCH, n_flows=n_flows,
+        fabric=sim_fabric(n_leaf=2, n_spine=2, hosts_per_leaf=4), seed=105,
+        event_budget=DEFAULT_EVENT_BUDGET, lb="flowlet")
+
+
+def _leaf_spine_conga_scenario(*, n_flows: int) -> object:
+    return all_to_all_scenario(
+        "validate-leaf-spine-conga", WEB_SEARCH, n_flows=n_flows,
+        fabric=sim_fabric(n_leaf=2, n_spine=2, hosts_per_leaf=4), seed=106,
+        event_budget=DEFAULT_EVENT_BUDGET, lb="conga")
+
+
 TOPOLOGIES = {
     "star": _star_scenario,
     "dumbbell": _dumbbell_scenario,
     "leaf-spine": _leaf_spine_scenario,
+}
+
+#: Feature cells: (scenario factory, schemes that exercise the feature).
+#: PFC pairs with the RoCEv2 schemes it exists for; the load balancers
+#: pair with the paper's baseline and headline transports.
+FEATURE_CELLS = {
+    "leaf-spine-pfc": (_leaf_spine_pfc_scenario, ("dcqcn", "hpcc")),
+    "leaf-spine-flowlet": (_leaf_spine_flowlet_scenario, ("dctcp", "ppt")),
+    "leaf-spine-conga": (_leaf_spine_conga_scenario, ("dctcp", "ppt")),
 }
 
 
@@ -73,6 +104,20 @@ def run_matrix(schemes: Optional[List[str]] = None, *,
     tasks: List[GridTask] = []
     for topo_name, scenario_factory in TOPOLOGIES.items():
         for scheme in schemes:
+            for validate in (False, True):
+                tasks.append(GridTask(
+                    scheme_factory=SCHEME_FACTORIES[scheme],
+                    scenario_factory=scenario_factory,
+                    params={"n_flows": flows},
+                    label=f"{scheme}@{topo_name}"
+                          f"{'+validate' if validate else ''}",
+                    scheme_key=scheme,
+                    validate=validate))
+
+    for topo_name, (scenario_factory, cell_schemes) in FEATURE_CELLS.items():
+        for scheme in cell_schemes:
+            if scheme not in schemes:
+                continue
             for validate in (False, True):
                 tasks.append(GridTask(
                     scheme_factory=SCHEME_FACTORIES[scheme],
