@@ -16,7 +16,12 @@ judged against (ROADMAP: "as fast as the hardware allows").  Probes:
   validation matrix leans on;
 * ``dctcp-incast-observed`` — the incast with repro.obs telemetry
   attached; comparing against ``dctcp-incast`` across commits bounds
-  the observation overhead (regression budget: <3%).
+  the observation overhead (regression budget: <3%);
+* ``hybrid-soak`` — a heavy bulk-transfer scenario run twice, packet
+  mode then with the :mod:`repro.sim.hybrid` fast path; records
+  simulated flow-hours per wall-second for both and asserts the hybrid
+  speedup is at least 10x (the ISSUE's floor; the ratchet then gates
+  ``flow_hours_per_sec`` against the checked-in baseline).
 
 Every invocation writes the rows to ``BENCH_core_engine.json`` at the
 repo root (override with ``BENCH_CORE_ENGINE_OUT``) so the trajectory
@@ -33,19 +38,27 @@ import time
 from pathlib import Path
 
 from conftest import run_figure
-from repro.experiments.runner import run
+from repro.experiments.runner import Scenario, run
 from repro.experiments.scenarios import (
     all_to_all_scenario,
     incast_scenario,
+    sim_config,
     sim_fabric,
+    star_fabric,
 )
 from repro.sim.engine import Simulator
+from repro.sim.hybrid import HybridConfig
+from repro.transport.base import Flow
 from repro.transport.dctcp import Dctcp
+from repro.units import gbps
 from repro.workloads.distributions import WEB_SEARCH
 
 RAW_EVENTS = 200_000
 RAW_CHAINS = 8
 INCAST_REPEATS = 3
+HYBRID_BULK_FLOWS = 24
+HYBRID_BULK_SIZE = 4_000_000
+HYBRID_SPEEDUP_FLOOR = 10.0
 
 OUT_PATH = Path(os.environ.get(
     "BENCH_CORE_ENGINE_OUT",
@@ -116,9 +129,60 @@ def _observed_incast_row():
             "peak_pending": result.health.peak_pending}
 
 
+def _hybrid_scenario(hybrid):
+    """Heavy bulk traffic on a slow star: every flow is a multi-second
+    transfer, which is exactly the event population the flow-level fast
+    path exists to elide."""
+    fabric = star_fabric(6, rate=gbps(0.1))
+
+    def build_flows(topo):
+        hosts = topo.host_ids()
+        n = len(hosts)
+        flows = []
+        for i in range(HYBRID_BULK_FLOWS):
+            src = hosts[i % n]
+            dst = hosts[(i + 1 + i // n) % n]
+            flows.append(Flow(flow_id=i, src=src, dst=dst,
+                              size=HYBRID_BULK_SIZE,
+                              start_time=0.001 * i))
+        return flows
+
+    # slow links: scale RTOmin past serialization like the soak scenario
+    return Scenario("bench-hybrid-soak", fabric, build_flows,
+                    config=sim_config(min_rto=0.05), max_time=120.0,
+                    hybrid=hybrid)
+
+
+def _flow_hours(result):
+    return sum(f.fct for f in result.flows if f.fct is not None) / 3600.0
+
+
+def _hybrid_row():
+    t0 = time.perf_counter()
+    packet = run(Dctcp(), _hybrid_scenario(None))
+    packet_wall = time.perf_counter() - t0
+    assert packet.completed == len(packet.flows), "packet soak must complete"
+
+    t0 = time.perf_counter()
+    hybrid = run(Dctcp(), _hybrid_scenario(HybridConfig()))
+    hybrid_wall = time.perf_counter() - t0
+    assert hybrid.completed == len(hybrid.flows), "hybrid soak must complete"
+
+    packet_fhps = _flow_hours(packet) / packet_wall
+    hybrid_fhps = _flow_hours(hybrid) / hybrid_wall
+    speedup = hybrid_fhps / packet_fhps if packet_fhps else float("inf")
+    return {"bench": "hybrid-soak", "events": hybrid.wall_events,
+            "seconds": hybrid_wall,
+            "events_per_sec": hybrid.wall_events / hybrid_wall,
+            "peak_pending": hybrid.health.peak_pending,
+            "flow_hours_per_sec": hybrid_fhps,
+            "packet_flow_hours_per_sec": packet_fhps,
+            "speedup": speedup}
+
+
 def _run_bench():
     rows = [_raw_heap_row(), _incast_row(), _leaf_spine_row(),
-            _observed_incast_row()]
+            _observed_incast_row(), _hybrid_row()]
     payload = {"bench": "core_engine", "rows": rows}
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -131,4 +195,9 @@ def test_core_engine_events_per_sec(benchmark):
     for row in result["rows"]:
         assert row["events"] > 0
         assert row["events_per_sec"] > 0
+        if row["bench"] == "hybrid-soak":
+            assert row["speedup"] >= HYBRID_SPEEDUP_FLOOR, (
+                f"hybrid fast path delivered only {row['speedup']:.1f}x "
+                f"simulated flow-hours per wall-second over packet mode "
+                f"(floor {HYBRID_SPEEDUP_FLOOR:g}x)")
     assert OUT_PATH.exists()

@@ -50,6 +50,7 @@ from .experiments.scenarios import (
     soak_scenario,
 )
 from .resilience import CheckpointError, supervise_grid
+from .sim.hybrid import HybridConfig
 from .sim.routing import DEFAULT_FLOWLET_GAP, LB_MODES
 from .transport.aeolus import Aeolus
 from .transport.d2tcp import D2tcp
@@ -165,13 +166,16 @@ def _summary_rows(schemes, summaries, *, faults, health_flag):
             rows.append({"scheme": name, "flows": "FAILED"})
             continue
         stats = summary.stats
+        # fct_summary_row renders empty small/large buckets as explicit
+        # "n=0" markers instead of printing nan
+        fct_row = tables.fct_summary_row(stats)
         row = {
             "scheme": name,
             "flows": f"{summary.completed}/{summary.n_flows}",
-            "overall_avg_ms": stats.overall_avg * 1e3,
-            "small_avg_ms": stats.small_avg * 1e3,
-            "small_p99_ms": stats.small_p99 * 1e3,
-            "large_avg_ms": stats.large_avg * 1e3,
+            "overall_avg_ms": fct_row["overall_avg_ms"],
+            "small_avg_ms": fct_row["small_avg_ms"],
+            "small_p99_ms": fct_row["small_p99_ms"],
+            "large_avg_ms": fct_row["large_avg_ms"],
         }
         if faults is not None or health_flag:
             row["rtx"] = summary.health.retransmits_total
@@ -272,6 +276,11 @@ def _cmd_run(args) -> int:
     # builder untouched so existing invocations stay bit-identical
     features = dict(lb=args.lb, lb_gap=args.lb_gap, pfc=args.pfc,
                     pfc_config=SIM_PFC if args.pfc else None)
+    hybrid = None
+    if args.hybrid:
+        hybrid = HybridConfig(size_threshold=args.hybrid_size_threshold,
+                              max_epoch=args.hybrid_epoch)
+    features["hybrid"] = hybrid
 
     def make_scenario():
         if args.soak is not None:
@@ -434,6 +443,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "XOFF/XON on every switch with headroom so the "
                             "lossless class never drops (RoCEv2-style; "
                             "pair with dcqcn/hpcc)")
+    run_p.add_argument("--hybrid", action="store_true",
+                       help="enable the flow-level fast path: large "
+                            "uncontended flows advance analytically at "
+                            "max-min fair rates instead of packet by packet "
+                            "(see docs/hybrid.md for the accuracy envelope)")
+    run_p.add_argument("--hybrid-size-threshold", type=int,
+                       metavar="BYTES", default=1_000_000,
+                       help="flows at least this big are candidates for "
+                            "flow-level abstraction (default 1MB)")
+    run_p.add_argument("--hybrid-epoch", type=float, metavar="SECONDS",
+                       default=0.005,
+                       help="max interval between hybrid congestion epochs "
+                            "while packet traffic coexists (default 5ms)")
     run_p.add_argument("--event-budget", type=int, default=None,
                        help="abort a run after this many simulator events")
     run_p.add_argument("--jobs", type=int, default=1,

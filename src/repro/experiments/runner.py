@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from ..core.hypothetical import HypotheticalDctcp, MwRecordingDctcp
 from ..faults.plan import ActiveFaults, FaultPlan
 from ..metrics.fct import FctStats
+from ..obs.hooks import chain
 from ..obs.telemetry import Telemetry
 from ..resilience.checkpoint import (
     CheckpointError,
@@ -41,6 +42,7 @@ from ..resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from ..sim.hybrid import HybridConfig, HybridController
 from ..sim.network import Network
 from ..sim.topology import Topology
 from ..transport.base import Flow, Scheme, TransportConfig, TransportContext
@@ -72,6 +74,10 @@ class Scenario:
     faults: Optional[FaultPlan] = None
     event_budget: Optional[int] = None  # max simulator events per run
     stall_slices: int = 40  # watchdog window, in drain slices
+    # hybrid flow-level fast path (repro.sim.hybrid); None — or a config
+    # with enabled=False — takes the identical code path as before the
+    # feature existed (bit-identity gated by the validate matrix)
+    hybrid: Optional[HybridConfig] = None
 
     def describe(self) -> str:
         return self.name
@@ -185,6 +191,13 @@ def _progress_signature(ctx: TransportContext, network: Network) -> tuple:
                 delivered += len(endpoint.delivered)
             except AttributeError:
                 pass
+    hybrid = ctx.extra.get("hybrid")
+    if hybrid is not None:
+        # analytic progress has no packets for the counters above to
+        # see: fold in the controller's projected-delivery probe so an
+        # hours-long abstract epoch never reads as a stall
+        return (len(ctx.completed), delivered, endpoints,
+                hybrid.progress_probe(network.sim.now))
     return (len(ctx.completed), delivered, endpoints)
 
 
@@ -360,11 +373,26 @@ def run(
                         "restores them from a checkpoint")
     telemetry = _resolve_observe(observe)
     auditor = _resolve_validate(validate)
+    hybrid_ctl: Optional[HybridController] = None
+    if scenario.hybrid is not None and scenario.hybrid.enabled:
+        # wrap the scheme: large flows are intercepted at start_flow and
+        # advanced analytically; everything else passes straight through
+        # to the packet model.  hybrid=None (or enabled=False) skips the
+        # wrapper entirely, keeping the bare path bit-identical.
+        hybrid_ctl = HybridController(scheme, scenario.hybrid)
+        scheme = hybrid_ctl
     topo = scenario.build_topology()
     scheme.configure_network(topo.network)
     faults: Optional[ActiveFaults] = None
     if scenario.faults is not None:
         faults = scenario.faults.apply(topo.network, topo.sim)
+        if hybrid_ctl is not None:
+            # fault transitions are congestion epochs: bank abstract
+            # progress, then let the contended-port sweep demote flows
+            # crossing the chained/downed link
+            for injector in faults.link_injectors:
+                injector.transition_hook = chain(
+                    injector.transition_hook, hybrid_ctl.on_fault_transition)
     flow_source = scenario.build_flows(topo)
     if isinstance(flow_source, FlowStream):
         stream, flows = flow_source, []
@@ -414,7 +442,7 @@ def run(
         scheme_name=scheme.name,
         scenario_name=scenario.name,
         topo=topo, ctx=ctx, flows=flows, faults=faults,
-        telemetry=telemetry, auditor=auditor,
+        telemetry=telemetry, auditor=auditor, hybrid=hybrid_ctl,
         max_time=scenario.max_time,
         stall_slices=scenario.stall_slices,
         event_budget=scenario.event_budget,

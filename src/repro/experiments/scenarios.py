@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..faults.plan import FaultPlan, LinkDown, PacketLoss, PfcStorm, RateDegrade
+from ..sim.hybrid import HybridConfig
 from ..sim.network import QueueConfig
 from ..sim.queues import PfcConfig
 from ..sim.topology import Topology, dumbbell, leaf_spine, star
@@ -193,6 +194,7 @@ def dumbbell_scenario(
     lb_gap: Optional[float] = None,
     pfc: bool = False,
     pfc_config: Optional[PfcConfig] = None,
+    hybrid: Optional[HybridConfig] = None,
 ) -> Scenario:
     """Poisson traffic host0 -> host1 across the dumbbell bottleneck."""
     fabric = _with_features(dumbbell_fabric(bottleneck_rate=bottleneck_rate),
@@ -209,7 +211,7 @@ def dumbbell_scenario(
 
     return Scenario(name, fabric, build_flows,
                     config=config or sim_config(), max_time=max_time,
-                    event_budget=event_budget)
+                    event_budget=event_budget, hybrid=hybrid)
 
 
 def micro_fabric(rate: float = gbps(40),
@@ -321,6 +323,7 @@ def all_to_all_scenario(
     lb_gap: Optional[float] = None,
     pfc: bool = False,
     pfc_config: Optional[PfcConfig] = None,
+    hybrid: Optional[HybridConfig] = None,
 ) -> Scenario:
     """All-to-all Poisson traffic on a fabric (the §6.2 shape)."""
     fabric = _with_features(fabric or sim_fabric(), lb=lb, lb_gap=lb_gap,
@@ -336,7 +339,7 @@ def all_to_all_scenario(
 
     return Scenario(name, fabric, build_flows,
                     config=config or sim_config(), max_time=max_time,
-                    faults=faults, event_budget=event_budget)
+                    faults=faults, event_budget=event_budget, hybrid=hybrid)
 
 
 def incast_scenario(
@@ -363,6 +366,7 @@ def incast_scenario(
     lb_gap: Optional[float] = None,
     pfc: bool = False,
     pfc_config: Optional[PfcConfig] = None,
+    hybrid: Optional[HybridConfig] = None,
 ) -> Scenario:
     """N-to-1 incast: the load is defined against the receiver downlink."""
     fabric = _with_features(fabric or sim_fabric(), lb=lb, lb_gap=lb_gap,
@@ -379,7 +383,7 @@ def incast_scenario(
 
     return Scenario(name, fabric, build_flows,
                     config=config or sim_config(), max_time=max_time,
-                    faults=faults, event_budget=event_budget)
+                    faults=faults, event_budget=event_budget, hybrid=hybrid)
 
 
 def two_to_one_scenario(
@@ -522,6 +526,7 @@ def soak_scenario(
     lb_gap: Optional[float] = None,
     pfc: bool = False,
     pfc_config: Optional[PfcConfig] = None,
+    hybrid: Optional[HybridConfig] = None,
 ) -> Scenario:
     """Hours of simulated time on a slow star, faults firing throughout.
 
@@ -569,7 +574,7 @@ def soak_scenario(
     # gaps is already tolerated; faults get their usual grace on top.
     return Scenario(name, fabric, build_flows,
                     config=config, max_time=horizon,
-                    faults=faults, event_budget=event_budget)
+                    faults=faults, event_budget=event_budget, hybrid=hybrid)
 
 
 # ---------------------------------------------------------------------------

@@ -86,22 +86,27 @@ class FctStats:
         )
 
     def row(self) -> dict:
-        """Flat dict, milliseconds, for table printing."""
-        to_ms = lambda v: v * 1e3  # noqa: E731 - tiny local formatter
+        """Flat dict, milliseconds, for table printing.  Empty buckets
+        render as explicit ``"n=0"`` markers instead of NaN (see also
+        :func:`repro.experiments.tables.fct_summary_row`)."""
+        def cell(value: float, n: int):
+            return value * 1e3 if n else "n=0"
         return {
             "flows": self.n_flows,
-            "overall_avg_ms": to_ms(self.overall_avg),
-            "small_avg_ms": to_ms(self.small_avg),
-            "small_p99_ms": to_ms(self.small_p99),
-            "large_avg_ms": to_ms(self.large_avg),
+            "overall_avg_ms": cell(self.overall_avg, self.n_flows),
+            "small_avg_ms": cell(self.small_avg, self.n_small),
+            "small_p99_ms": cell(self.small_p99, self.n_small),
+            "large_avg_ms": cell(self.large_avg, self.n_large),
         }
 
     def __str__(self) -> str:
+        def cell(value: float, n: int) -> str:
+            return f"{value * 1e3:.3f}ms" if n else "n=0"
         return (
-            f"n={self.n_flows} overall={self.overall_avg * 1e3:.3f}ms "
-            f"small_avg={self.small_avg * 1e3:.3f}ms "
-            f"small_p99={self.small_p99 * 1e3:.3f}ms "
-            f"large_avg={self.large_avg * 1e3:.3f}ms"
+            f"n={self.n_flows} overall={cell(self.overall_avg, self.n_flows)} "
+            f"small_avg={cell(self.small_avg, self.n_small)} "
+            f"small_p99={cell(self.small_p99, self.n_small)} "
+            f"large_avg={cell(self.large_avg, self.n_large)}"
         )
 
 

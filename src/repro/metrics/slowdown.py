@@ -27,16 +27,29 @@ def ideal_fct(flow: Flow, network: Network, *,
               header_overhead: float = 64.0 / 1436.0) -> float:
     """Unloaded completion time: one-way base delay + serialization of
     the whole message (with per-packet header overhead) at the slowest
-    link on the path (the edge rate for our topologies)."""
-    src_rate = network.hosts[flow.src].uplink.rate_bps
+    link on the flow's actual path.
+
+    On an oversubscribed fabric the bottleneck is the core link, not
+    the source uplink — using the edge rate (the old behaviour) makes
+    the ideal too fast and so *understates* every slowdown on
+    leaf-spine topologies with core_rate < edge_rate.
+    :meth:`Network.path_min_rate` is cached alongside ``base_delay``,
+    so this stays two dict hits per flow.
+    """
+    bottleneck_rate = network.path_min_rate(flow.src, flow.dst)
     wire_bytes = flow.size * (1.0 + header_overhead)
-    serialization = wire_bytes * 8.0 / src_rate
+    serialization = wire_bytes * 8.0 / bottleneck_rate
     return network.base_delay(flow.src, flow.dst) + serialization
 
 
 @dataclass
 class SlowdownStats:
-    """Summary of per-flow slowdowns over a completed run."""
+    """Summary of per-flow slowdowns over a completed run.
+
+    ``small_*`` / ``large_*`` are NaN when the corresponding bucket is
+    empty; :meth:`row` renders those cells as explicit ``"n=0"``
+    markers (the bucket counts disambiguate a NaN from a real value).
+    """
 
     n_flows: int
     overall_avg: float
@@ -44,6 +57,8 @@ class SlowdownStats:
     small_avg: float
     small_p99: float
     large_avg: float
+    n_small: int = 0
+    n_large: int = 0
 
     @classmethod
     def from_flows(cls, flows: Iterable[Flow], network: Network,
@@ -68,14 +83,18 @@ class SlowdownStats:
             small_avg=mean(small),
             small_p99=percentile(small, 99.0),
             large_avg=mean(large),
+            n_small=len(small),
+            n_large=len(large),
         )
 
     def row(self) -> dict:
+        def cell(value: float, n: int):
+            return value if n else "n=0"
         return {
             "flows": self.n_flows,
-            "slowdown_avg": self.overall_avg,
-            "slowdown_p99": self.overall_p99,
-            "small_slowdown_avg": self.small_avg,
-            "small_slowdown_p99": self.small_p99,
-            "large_slowdown_avg": self.large_avg,
+            "slowdown_avg": cell(self.overall_avg, self.n_flows),
+            "slowdown_p99": cell(self.overall_p99, self.n_flows),
+            "small_slowdown_avg": cell(self.small_avg, self.n_small),
+            "small_slowdown_p99": cell(self.small_p99, self.n_small),
+            "large_slowdown_avg": cell(self.large_avg, self.n_large),
         }

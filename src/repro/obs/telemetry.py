@@ -48,11 +48,16 @@ FLOW_START = "flow_start"
 FLOW_COMPLETE = "flow_complete"
 PAUSE = "pause"
 RESUME = "resume"
+# hybrid fast path (repro.sim.hybrid): one per congestion epoch / one
+# per abstract-flow demotion to packet mode
+HYBRID_EPOCH = "hybrid_epoch"
+HYBRID_DEMOTE = "hybrid_demote"
 
 EVENT_KINDS = (
     DROP, MARK, TRIM, RETRANSMIT, RTO,
     FAULT_DOWN, FAULT_UP, FLOW_START, FLOW_COMPLETE,
     PAUSE, RESUME,
+    HYBRID_EPOCH, HYBRID_DEMOTE,
 )
 
 _QUEUE_COUNTER_FIELDS = (
@@ -137,6 +142,9 @@ class TelemetrySummary:
     pauses_received: int = 0
     pause_seconds: float = 0.0
     flowlet_repins: int = 0
+    # hybrid fast-path counters (zero on pure packet runs)
+    hybrid_epochs: int = 0
+    hybrid_demotions: int = 0
     # profiling rollup (events/sec over the profiled drain slices)
     slices: int = 0
     sim_events: int = 0
@@ -162,6 +170,9 @@ class TelemetrySummary:
                          f"({self.pause_seconds * 1e3:.3g}ms paused)")
         if self.flowlet_repins:
             parts.append(f"{self.flowlet_repins} flowlet re-pins")
+        if self.hybrid_epochs or self.hybrid_demotions:
+            parts.append(f"{self.hybrid_epochs} hybrid epochs "
+                         f"({self.hybrid_demotions} demotions)")
         if self.events_seen > self.events_kept:
             parts.append(f"trace kept {self.events_kept}/{self.events_seen}")
         if self.wall_seconds > 0.0:
@@ -188,6 +199,8 @@ class TelemetrySummary:
             total.pauses_received += s.pauses_received
             total.pause_seconds += s.pause_seconds
             total.flowlet_repins += s.flowlet_repins
+            total.hybrid_epochs += s.hybrid_epochs
+            total.hybrid_demotions += s.hybrid_demotions
             total.slices += s.slices
             total.sim_events += s.sim_events
             total.wall_seconds += s.wall_seconds
@@ -400,6 +413,8 @@ class Telemetry:
             pauses_received=self.pauses_received,
             pause_seconds=self.pause_seconds,
             flowlet_repins=self.flowlet_repins,
+            hybrid_epochs=self.counts.get(HYBRID_EPOCH, 0),
+            hybrid_demotions=self.counts.get(HYBRID_DEMOTE, 0),
             slices=slices,
             sim_events=sum(events for _t, events, _w in self.profile),
             wall_seconds=sum(wall for _t, _e, wall in self.profile),

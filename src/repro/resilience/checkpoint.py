@@ -57,7 +57,10 @@ CHECKPOINT_FORMAT = "repro-checkpoint"
 # v2: RunState grew ``total_flows`` (streaming flow sources — ``flows``
 # now only holds what a stream has already emitted, and the lazy start
 # chain, with its half-consumed FlowStream, rides inside the sim graph)
-CHECKPOINT_VERSION = 2
+# v3: RunState grew ``hybrid`` (the flow-level fast path's controller —
+# abstract-flow set, rate assignments and the armed epoch event — so a
+# mid-epoch resume is bit-identical)
+CHECKPOINT_VERSION = 3
 
 
 class CheckpointError(RuntimeError):
@@ -85,6 +88,10 @@ class RunState:
     faults: Any = None
     telemetry: Any = None
     auditor: Any = None
+    # the HybridController when the run uses the flow-level fast path
+    # (None otherwise); shares references into the sim graph, so the
+    # abstract set and its armed RearmableEvent pickle consistently
+    hybrid: Any = None
 
     # the run's flow target: len(flows) for a materialized workload,
     # the FlowStream's declared total for a streamed one (``flows``

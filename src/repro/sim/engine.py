@@ -714,3 +714,57 @@ class LazyEventChain:
     def exhausted(self) -> bool:
         """True once the source has been fully consumed and fired."""
         return self.head_event is None
+
+
+class RearmableEvent:
+    """A single re-armable heap entry for coarse *epoch* work.
+
+    The hybrid fast path advances abstract flows at congestion epochs —
+    irregular instants recomputed every time the flow set or the fabric
+    changes.  Holding one of these per controller instead of scheduling
+    ad-hoc events keeps the bookkeeping simple: at most ONE live entry
+    exists at a time; re-arming lazily cancels the resident entry (a
+    corpse the heap sweeps later, exactly like timer churn) and
+    schedules a replacement.  The events are plain non-recycled
+    ``schedule_at`` entries — the holder keeps a reference across
+    firings, so they must never enter the free list — which lets epoch
+    events coexist with the recycled wire/timer events and the
+    reserved-seq chains without aliasing.
+
+    Plain data + bound methods throughout: a RearmableEvent pickles
+    inside checkpoints along with the simulator heap, and a resumed run
+    fires the restored entry at the identical (time, seq) slot.
+    """
+
+    __slots__ = ("sim", "fn", "event")
+
+    def __init__(self, sim: Simulator, fn) -> None:
+        self.sim = sim
+        self.fn = fn
+        self.event: Optional[Event] = None
+
+    def set_at(self, time: float) -> None:
+        """Arm (or move) the single entry to fire at ``time``."""
+        if self.event is not None:
+            self.event.cancel()
+        self.event = self.sim.schedule_at(time, self._fire)
+        self.event.recycle = False  # holder keeps a reference
+
+    def clear(self) -> None:
+        """Disarm without firing."""
+        if self.event is not None:
+            self.event.cancel()
+            self.event = None
+
+    def _fire(self) -> None:
+        self.event = None
+        self.fn()
+
+    @property
+    def armed(self) -> bool:
+        return self.event is not None
+
+    @property
+    def time(self) -> Optional[float]:
+        """Scheduled fire time of the live entry, or None."""
+        return self.event.time if self.event is not None else None

@@ -22,7 +22,7 @@ from .host import Host
 from .link import Port
 from .packet import HEADER_BYTES, NUM_PRIORITIES, Packet
 from .queues import PfcConfig, PriorityMux
-from .routing import make_balancer
+from .routing import ecmp_hash, make_balancer
 from .switch import Switch
 
 
@@ -239,6 +239,9 @@ class Network:
         # adjacency: device -> [(peer_device, prop_delay, rate_bps)]
         self._adj: Dict[object, List[Tuple[object, float, float]]] = {}
         self._base_delay_cache: Dict[Tuple[int, int], float] = {}
+        # slowest-link rate along the same min-hop path base_delay uses,
+        # filled by the same BFS (ideal_fct and the hybrid fast path)
+        self._path_min_rate_cache: Dict[Tuple[int, int], float] = {}
         # Control-path accounting (bytes that bypassed the queued fabric).
         self.control_pkts = 0
         self._control_pipes: Dict[Tuple[int, int], ControlPipe] = {}
@@ -360,26 +363,80 @@ class Network:
             return cached
         src = self.hosts[src_host]
         dst = self.hosts[dst_host]
-        # BFS for the minimum-hop path, accumulating delay.
+        # BFS for the minimum-hop path, accumulating delay and tracking
+        # the slowest link rate seen along it (cached for path_min_rate).
         best: Dict[object, float] = {src: 0.0}
-        frontier = deque([(src, 0.0, 0)])
+        frontier = deque([(src, 0.0, 0, float("inf"))])
         result = None
+        result_rate = None
         best_hops: Dict[object, int] = {src: 0}
         while frontier:
-            node, delay, hops = frontier.popleft()
+            node, delay, hops, min_rate = frontier.popleft()
             if node is dst:
                 result = delay
+                result_rate = min_rate
                 break
             for peer, prop, rate in self._adj[node]:
                 d = delay + prop + serialization_delay(HEADER_BYTES, rate)
                 if peer not in best_hops or hops + 1 < best_hops[peer]:
                     best_hops[peer] = hops + 1
                     best[peer] = d
-                    frontier.append((peer, d, hops + 1))
+                    frontier.append((peer, d, hops + 1,
+                                     rate if rate < min_rate else min_rate))
         if result is None:
             raise KeyError(f"no path from host {src_host} to host {dst_host}")
         self._base_delay_cache[key] = result
+        self._path_min_rate_cache[key] = result_rate
         return result
+
+    def path_min_rate(self, src_host: int, dst_host: int) -> float:
+        """Capacity (bits/sec) of the slowest link on the minimum-hop
+        path between two hosts — the true serialization bottleneck for
+        an unloaded transfer on an oversubscribed fabric.  Computed by
+        the same BFS as :meth:`base_delay` and cached alongside it."""
+        if src_host == dst_host:
+            return self.hosts[src_host].uplink.rate_bps
+        key = (src_host, dst_host)
+        rate = self._path_min_rate_cache.get(key)
+        if rate is None:
+            self.base_delay(src_host, dst_host)  # fills both caches
+            rate = self._path_min_rate_cache[key]
+        return rate
+
+    def resolve_path(self, flow_id: int, src_host: int,
+                     dst_host: int) -> List[Port]:
+        """The exact port sequence ``flow_id``'s data packets traverse
+        under default deterministic forwarding.
+
+        Mirrors :meth:`Switch.receive`'s candidate selection (single
+        candidate, else per-flow ECMP hash).  Only meaningful when no
+        switch sprays or runs a stateful load balancer — the hybrid
+        fast path checks that once at bind time and falls back to the
+        packet model otherwise.
+        """
+        if src_host == dst_host:
+            return []
+        port = self.hosts[src_host].uplink
+        if port is None:
+            raise KeyError(f"host {src_host} has no uplink")
+        dst = self.hosts[dst_host]
+        path = [port]
+        device = port.peer
+        for _hop in range(64):
+            if device is dst:
+                return path
+            candidates = device.table.get(dst_host)
+            if not candidates:
+                raise KeyError(f"{device.name}: no route to host {dst_host}")
+            if len(candidates) == 1:
+                port = candidates[0]
+            else:
+                port = candidates[ecmp_hash(flow_id, device.switch_id,
+                                            len(candidates))]
+            path.append(port)
+            device = port.peer
+        raise RuntimeError(
+            f"routing loop resolving host {src_host} -> host {dst_host}")
 
     def base_rtt(self, src_host: int, dst_host: int) -> float:
         """Round-trip base delay between two hosts."""
@@ -466,3 +523,86 @@ class Network:
         holds this equal to the transmitted-minus-arrived residual.
         """
         return sum(len(port.wire) for port in self.ports)
+
+
+class LinkLedger:
+    """Per-port capacity ledger shared between the hybrid fast path's
+    abstract rate shares and the packet model's occupancy.
+
+    Abstract flows never enqueue packets, so a tracked port's
+    ``bytes_sent`` delta between two congestion epochs measures *pure
+    packet-model* traffic; whatever is left of the link rate is the
+    capacity the waterfiller may hand to abstract flows.  The
+    packet-flow refcounts come from the hybrid controller's path
+    bookkeeping and make "shares a bottleneck with a packet flow" an
+    O(path) test.  Plain data throughout — the ledger pickles inside
+    checkpoints along with the network.
+    """
+
+    __slots__ = ("tracked", "packet_flows", "last_time")
+
+    def __init__(self) -> None:
+        # port -> [bytes_sent at last measurement, measured bytes/sec]
+        self.tracked: Dict[Port, list] = {}
+        # port -> number of live packet-mode flows routed through it
+        self.packet_flows: Dict[Port, int] = {}
+        self.last_time: Optional[float] = None
+
+    def track(self, port: Port) -> None:
+        if port not in self.tracked:
+            self.tracked[port] = [port.bytes_sent, 0.0]
+
+    def measure(self, now: float) -> None:
+        """Refresh measured packet throughput from the port counters."""
+        last = self.last_time
+        self.last_time = now
+        if last is None or now <= last:
+            return
+        inv_dt = 1.0 / (now - last)
+        for port, state in self.tracked.items():
+            sent = port.bytes_sent
+            state[1] = (sent - state[0]) * inv_dt
+            state[0] = sent
+
+    def add_packet_flow(self, path: List[Port]) -> None:
+        flows = self.packet_flows
+        for port in path:
+            flows[port] = flows.get(port, 0) + 1
+
+    def remove_packet_flow(self, path: List[Port]) -> None:
+        flows = self.packet_flows
+        for port in path:
+            left = flows.get(port, 0) - 1
+            if left > 0:
+                flows[port] = left
+            else:
+                flows.pop(port, None)
+
+    def shared_with_packets(self, path: List[Port]) -> bool:
+        flows = self.packet_flows
+        for port in path:
+            if port in flows:
+                return True
+        return False
+
+    def available_bps(self, port: Port) -> float:
+        """Link rate minus measured packet throughput, in bits/sec."""
+        state = self.tracked.get(port)
+        measured = state[1] * 8.0 if state is not None else 0.0
+        rest = port.rate_bps - measured
+        return rest if rest > 0.0 else 0.0
+
+    def contended(self, port: Port, fraction: float) -> bool:
+        """True when ``port`` is unsafe to back an abstract rate share:
+        PFC-paused, fault-chained, shared with a live packet flow,
+        visibly transmitting, or measurably carrying more than
+        ``fraction`` of its capacity in packet traffic."""
+        if port.paused_mask or port.fault_chain is not None:
+            return True
+        if port in self.packet_flows:
+            return True
+        if port.busy or port.mux.pkt_count:
+            return True
+        state = self.tracked.get(port)
+        return (state is not None
+                and state[1] * 8.0 > fraction * port.rate_bps)

@@ -12,9 +12,15 @@ See ``docs/validation.md`` for the law catalogue.
 """
 
 from .auditor import RunAuditor, audit_mux
+from .equivalence import (
+    EquivalenceReport,
+    compare_fct_distributions,
+    ks_distance,
+)
 from .report import InvariantViolation, ValidationReport, Violation
 
 __all__ = [
     "RunAuditor", "audit_mux",
     "InvariantViolation", "ValidationReport", "Violation",
+    "EquivalenceReport", "compare_fct_distributions", "ks_distance",
 ]

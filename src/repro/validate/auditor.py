@@ -197,6 +197,7 @@ class RunAuditor:
         self.report = ValidationReport(strict=strict, max_kept=max_kept)
         self.sim = None
         self.network: Optional[Network] = None
+        self.ctx = None
         self.attached = False
         self._last_now = -math.inf
         self._finalized = False
@@ -215,6 +216,9 @@ class RunAuditor:
         self._last_now = sim.now
         if ctx is not None:
             ctx.auditor = self
+            # kept so per-slice laws can reach run-scoped extras (the
+            # hybrid controller lives at ctx.extra["hybrid"])
+            self.ctx = ctx
         return self
 
     # -- recording --------------------------------------------------------
@@ -257,6 +261,7 @@ class RunAuditor:
                 self._audit_lb(switch)
         for sender in self._endpoints(WindowSender):
             self._audit_rto(sender)
+        self._audit_hybrid()
 
     def on_restore(self) -> None:
         """Re-certify a run restored from a :mod:`repro.resilience`
@@ -273,6 +278,56 @@ class RunAuditor:
         """
         self._last_now = min(self._last_now, self.sim.now)
         self.on_slice()
+
+    def _audit_hybrid(self) -> None:
+        """Laws of the flow-level fast path (:mod:`repro.sim.hybrid`).
+
+        The controller keeps its own wire-byte ledger — everything a
+        flow *offered* at admission must be accounted for as delivered
+        (banked analytic progress), still remaining in the abstract
+        set, or handed back to the packet model at demotion.  On top of
+        that, the waterfilled rates must be feasible (no port's
+        abstract aggregate above its raw capacity) and non-negative.
+        """
+        hybrid = None
+        if self.ctx is not None:
+            hybrid = self.ctx.extra.get("hybrid")
+        if hybrid is None:
+            return
+        offered = hybrid.offered_wire_bytes
+        delivered = hybrid.delivered_wire_bytes
+        demoted = hybrid.demoted_wire_bytes
+        remaining = hybrid.remaining_wire_bytes()
+        tolerance = 1e-6 * (offered + 1.0)
+        self._check(
+            abs(offered - (delivered + remaining + demoted)) <= tolerance,
+            "hybrid-byte-conservation", "hybrid",
+            "offered wire bytes != delivered + remaining + demoted",
+            offered=offered, delivered=delivered, remaining=remaining,
+            demoted=demoted)
+        port_rates: dict = {}
+        for af in hybrid.abstract.values():
+            self._check(af.wire_remaining >= 0.0,
+                        "hybrid-remaining-nonnegative",
+                        f"flow-{af.flow.flow_id}",
+                        "abstract flow has negative remaining bytes",
+                        remaining=af.wire_remaining)
+            self._check(af.rate >= 0.0,
+                        "hybrid-rate-nonnegative",
+                        f"flow-{af.flow.flow_id}",
+                        "abstract flow has a negative rate",
+                        rate=af.rate)
+            for port in af.path:
+                port_rates[port] = port_rates.get(port, 0.0) + af.rate
+        for port, total in port_rates.items():
+            # rates were waterfilled against *available* capacity, which
+            # never exceeds the raw link rate — so the raw rate bounds
+            # the abstract aggregate regardless of measurement staleness
+            capacity = port.rate_bps / 8.0
+            self._check(total <= capacity * (1.0 + 1e-9) + 1e-6,
+                        "hybrid-rate-feasible", port.name,
+                        "abstract rate aggregate exceeds link capacity",
+                        aggregate_rate=total, capacity=capacity)
 
     def _audit_mux(self, port) -> None:
         for law, message, details in audit_mux(port.mux):

@@ -4,11 +4,12 @@ import math
 
 import pytest
 
-from conftest import make_ctx, make_star, run_single_flow
+from conftest import make_ctx, make_leaf_spine, make_star, run_single_flow
 from repro.core.ppt import Ppt
 from repro.metrics.slowdown import SlowdownStats, ideal_fct
 from repro.transport.base import Flow
 from repro.transport.dctcp import Dctcp
+from repro.units import gbps
 
 
 def test_ideal_fct_components():
@@ -63,3 +64,51 @@ def test_row_keys():
     assert set(row) == {"flows", "slowdown_avg", "slowdown_p99",
                         "small_slowdown_avg", "small_slowdown_p99",
                         "large_slowdown_avg"}
+
+
+def test_ideal_fct_uses_path_bottleneck_when_oversubscribed():
+    """Regression: ideal_fct once serialized at the *edge* rate even
+    when the path's core links were slower.  On a 4:1 oversubscribed
+    leaf-spine that understated the ideal 4x, inflating no slowdown but
+    deflating every reported one."""
+    topo = make_leaf_spine(edge_rate=gbps(40), core_rate=gbps(10))
+    # hosts 0/1 share leaf0; host 2 is on leaf1 -> cross-leaf path
+    # traverses a 10G spine link, so the bottleneck is NOT the edge
+    cross = Flow(0, 0, 2, 1_000_000, 0.0)
+    ideal_cross = ideal_fct(cross, topo.network)
+    base = topo.network.base_delay(0, 2)
+    wire = 1_000_000 * (1 + 64 / 1436)
+    assert ideal_cross - base == pytest.approx(wire * 8 / gbps(10))
+    # the stale edge-rate answer is 4x too optimistic
+    assert ideal_cross - base > 3.9 * (wire * 8 / gbps(40))
+    # intra-leaf traffic never crosses a spine: still edge-rate ideal
+    intra = Flow(1, 0, 1, 1_000_000, 0.0)
+    ideal_intra = ideal_fct(intra, topo.network)
+    base_intra = topo.network.base_delay(0, 1)
+    assert ideal_intra - base_intra == pytest.approx(wire * 8 / gbps(40))
+
+
+def test_path_min_rate_cached_with_base_delay():
+    topo = make_leaf_spine(edge_rate=gbps(40), core_rate=gbps(10))
+    net = topo.network
+    assert net.path_min_rate(0, 2) == gbps(10)
+    assert net.path_min_rate(0, 1) == gbps(40)
+    assert net.path_min_rate(0, 0) == gbps(40)  # self: uplink rate
+    # the cache is filled alongside base_delay's
+    assert (0, 2) in net._path_min_rate_cache
+
+
+def test_slowdown_row_marks_empty_buckets():
+    """An all-small run renders large-bucket cells as "n=0", never nan."""
+    topo = make_star()
+    flow = Flow(0, 0, 1, 50_000, 0.0)
+    flow.finish_time = 1e-3
+    stats = SlowdownStats.from_flows([flow], topo.network)
+    assert stats.n_small == 1 and stats.n_large == 0
+    assert math.isnan(stats.large_avg)  # the raw stat stays NaN...
+    row = stats.row()
+    assert row["large_slowdown_avg"] == "n=0"  # ...the rendering doesn't
+    assert row["small_slowdown_avg"] != "n=0"
+    empty = SlowdownStats.from_flows([], topo.network).row()
+    assert empty["slowdown_avg"] == "n=0"
+    assert empty["small_slowdown_p99"] == "n=0"
