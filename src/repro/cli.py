@@ -40,6 +40,7 @@ from .core.ppt_hpcc import PptHpcc
 from .core.ppt_swift import PptSwift
 from .experiments import figures, tables
 from .faults import FaultPlan
+from .experiments.distributed import ShardError, run_sharded
 from .experiments.parallel import GridTask, GridTaskError, RunSummary, run_grid
 from .experiments.runner import format_table, run
 from .experiments.scenarios import (
@@ -242,6 +243,25 @@ def _cmd_run(args) -> int:
         # in-process serial path
         print("error: --trace-out requires --jobs 1", file=sys.stderr)
         return 2
+    if args.shards is not None:
+        # one run split across processes composes with neither the
+        # scheme-level pool nor the serial-only machinery
+        if args.shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 2
+        if args.jobs not in (None, 0, 1):
+            print("error: --shards supplies its own parallelism; "
+                  "use --jobs 1", file=sys.stderr)
+            return 2
+        if args.trace_out or args.checkpoint or args.resume:
+            print("error: --shards is incompatible with --trace-out and "
+                  "checkpoint/resume (both need the serial runner)",
+                  file=sys.stderr)
+            return 2
+        if args.task_timeout is not None or args.retries is not None:
+            print("error: --shards does not run under grid supervision",
+                  file=sys.stderr)
+            return 2
     if args.checkpoint and (args.jobs not in (None, 0, 1)
                             or len(args.schemes) != 1):
         # one checkpoint file describes one run
@@ -322,6 +342,17 @@ def _cmd_run(args) -> int:
                     written = result.telemetry.export_jsonl(path)
                     print(f"trace: {name}: {written} events -> {path}",
                           file=sys.stderr)
+        elif args.shards is not None:
+            # space-parallel: one run per scheme, partitioned across
+            # --shards worker processes with a deterministic merge
+            summaries = []
+            for name in args.schemes:
+                result = run_sharded(SCHEME_FACTORIES[name](),
+                                     make_scenario(), args.shards,
+                                     observe=observe, validate=validate)
+                summary = result.summary
+                summary.scheme = name
+                summaries.append(summary)
         else:
             tasks = [GridTask(scheme_factory=SCHEME_FACTORIES[name],
                               scenario_factory=make_scenario,
@@ -355,6 +386,20 @@ def _cmd_run(args) -> int:
         if "InvariantViolation" in exc.cause:
             print(f"invariant violation: {exc}", file=sys.stderr)
             return 3
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ShardError as exc:
+        # a shard worker died; same exit-code contract as GridTaskError
+        if "InvariantViolation" in exc.cause:
+            print(f"invariant violation: {exc}", file=sys.stderr)
+            return 3
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, RuntimeError) as exc:
+        if args.shards is None:
+            raise
+        # unshardable topology / unsupported feature combination / no
+        # fork start method — all user-addressable
         print(f"error: {exc}", file=sys.stderr)
         return 2
     rows = _summary_rows(args.schemes, summaries, faults=faults,
@@ -462,6 +507,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes to fan the schemes across "
                             "(-1 = one per core); results are merged in "
                             "deterministic order, identical to --jobs 1")
+    run_p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="space-partition each run across N worker "
+                            "processes (leaf-spine fabrics only; one pod "
+                            "group per shard, conservative-lookahead "
+                            "synchronization, deterministic merge — see "
+                            "docs/sharding.md); incompatible with --jobs>1, "
+                            "--trace-out, checkpoints, faults, --pfc and "
+                            "--hybrid")
     run_p.add_argument("--health", action="store_true",
                        help="include run-health columns in the output table")
     run_p.add_argument("--trace", action="store_true",

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -191,12 +192,39 @@ def _run_nth_task(index: int) -> RunSummary:
 
 
 def default_jobs() -> int:
-    """A sane worker count: the machine's cores (at least 1)."""
-    return max(1, os.cpu_count() or 1)
+    """A sane worker count: the cores this process may actually use.
+
+    ``sched_getaffinity`` respects cgroup/CPU-set limits (container
+    quotas, ``taskset``), where ``cpu_count`` reports the whole machine
+    and would oversubscribe a pinned process.  Falls back to
+    ``cpu_count`` on platforms without affinity support (macOS).
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+# run_grid warns at most once per process about a no-fork degrade; the
+# grid is called once per sweep row and repeating the warning per row
+# would drown the table
+_warned_no_fork = False
+
+
+def _warn_no_fork() -> None:
+    global _warned_no_fork
+    if _warned_no_fork:
+        return
+    _warned_no_fork = True
+    warnings.warn(
+        f"parallel grid requested but the {multiprocessing.get_start_method()!r} "
+        "start method cannot share task closures (fork unavailable); "
+        "running serially in-process",
+        RuntimeWarning, stacklevel=3)
 
 
 def run_grid(
@@ -217,6 +245,8 @@ def run_grid(
         jobs = default_jobs()
     n_workers = min(jobs or 1, len(tasks))
     if n_workers <= 1 or not _fork_available():
+        if n_workers > 1:
+            _warn_no_fork()
         summaries = []
         for task in tasks:
             if progress is not None:

@@ -468,6 +468,22 @@ class Simulator:
                 best = time
         return best
 
+    def peek_horizon(self, lookahead: float) -> Optional[float]:
+        """Earliest time any *new* cross-boundary effect of the next
+        event could land: ``peek_time() + lookahead``, or None when the
+        heap is dead.
+
+        This is the conservative window bound a sharded run
+        (:mod:`repro.sim.shard`) may safely advance to on its own: every
+        export produced by events at ``t >= peek_time()`` arrives at a
+        peer no earlier than ``t + lookahead``.  Pure read, like
+        :meth:`peek_time`.
+        """
+        next_time = self.peek_time()
+        if next_time is None:
+            return None
+        return next_time + lookahead
+
     def compact(self) -> int:
         """Explicitly pop cancelled entries off the heap head; returns
         how many corpses were removed.  Never required for correctness —

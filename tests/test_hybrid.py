@@ -400,6 +400,7 @@ def test_ratchet_passes_against_itself(tmp_path):
         {"bench": "leaf-spine", "events_per_sec": 900.0},
         {"bench": "hybrid-soak", "events_per_sec": 10.0,
          "flow_hours_per_sec": 3.0},
+        {"bench": "sharded-leaf-spine", "events_per_sec": 800.0},
     ]}))
     assert ratchet.main(["--baseline", str(payload),
                          "--fresh", str(payload)]) == 0

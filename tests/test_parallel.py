@@ -99,3 +99,59 @@ def test_cli_jobs_flag():
     from repro.cli import main
     assert main(["run", "--schemes", "dctcp", "--flows", "8",
                  "--jobs", "2", "--health"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# worker-count defaults + no-fork degrade
+# ---------------------------------------------------------------------------
+
+
+def test_default_jobs_respects_cpu_affinity(monkeypatch):
+    import os
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2},
+                        raising=False)
+    assert default_jobs() == 3
+
+
+def test_default_jobs_falls_back_without_affinity(monkeypatch):
+    import os
+
+    def no_affinity(pid):
+        raise OSError("not supported here")
+
+    monkeypatch.setattr(os, "sched_getaffinity", no_affinity, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 6)
+    assert default_jobs() == 6
+
+
+def test_run_grid_warns_once_and_degrades_serially_without_fork(monkeypatch):
+    import multiprocessing
+    import warnings
+
+    import pytest
+
+    import repro.experiments.parallel as par
+
+    monkeypatch.setattr(par, "_fork_available", lambda: False)
+    monkeypatch.setattr(par, "_warned_no_fork", False)
+    with pytest.warns(RuntimeWarning,
+                      match=multiprocessing.get_start_method()):
+        degraded = par.run_grid(tiny_tasks()[:2], jobs=2)
+    # one-shot: a second degraded grid stays silent
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = par.run_grid(tiny_tasks()[:2], jobs=2)
+    serial = par.run_grid(tiny_tasks()[:2])
+    assert degraded == serial == again
+
+
+def test_run_grid_jobs_one_never_warns(monkeypatch):
+    import warnings
+
+    import repro.experiments.parallel as par
+
+    monkeypatch.setattr(par, "_fork_available", lambda: False)
+    monkeypatch.setattr(par, "_warned_no_fork", False)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        par.run_grid(tiny_tasks()[:1], jobs=1)

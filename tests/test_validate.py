@@ -316,3 +316,29 @@ def test_cooked_live_counter_detected():
     report = result.validation
     assert not report.ok
     assert "engine-live-counter" in report.counts
+
+
+def test_report_combine_many_disjoint_and_overlapping_laws():
+    a = ValidationReport()
+    a.checks_run = 3
+    a.record(_sample_violation())
+    b = ValidationReport()
+    b.checks_run = 4
+    b.record(_sample_violation(law="port-serialization"))
+    b.record(_sample_violation())
+    c = ValidationReport()
+    c.checks_run = 5
+    c.record(_sample_violation(law="fabric-offer-conservation"))
+    total = ValidationReport.combine([a, b, c])
+    assert total.checks_run == 12
+    assert total.violations_seen == 4
+    # overlapping law keys add; disjoint ones survive untouched
+    assert total.counts == {"mux-occupancy-sum": 2,
+                            "port-serialization": 1,
+                            "fabric-offer-conservation": 1}
+    assert not total.ok
+    # order-independent
+    flipped = ValidationReport.combine([c, a, b])
+    assert flipped.counts == total.counts
+    assert flipped.checks_run == total.checks_run
+    assert flipped.violations_seen == total.violations_seen
